@@ -1,0 +1,232 @@
+package hydra
+
+// One benchmark per table and figure of the paper's evaluation section, plus
+// ablation benchmarks for the design choices called out in DESIGN.md. Each
+// table/figure benchmark regenerates the corresponding result from the
+// simulator; run `go test -bench=. -benchmem` or use cmd/hydrasim for the
+// formatted output.
+
+import (
+	"testing"
+
+	"hydra/internal/experiments"
+	"hydra/internal/hw"
+	"hydra/internal/mapping"
+	"hydra/internal/model"
+	"hydra/internal/sim"
+	"hydra/internal/task"
+)
+
+// BenchmarkTable1 regenerates the application-level parallelism table.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Table1(); len(rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the full-system performance comparison
+// (6 measured prototypes × 4 benchmarks).
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates the EDAP efficiency comparison.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates the FPGA resource utilization report.
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if s := experiments.FormatTable4(); len(s) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable5 regenerates the DFT parameter selection (Eq. 1 search over
+// logSlots 12-15 for the three prototypes).
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates the key-procedure speedups of Hydra-M/L over
+// Hydra-S on all four benchmarks.
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates the full-system energy breakdown.
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates the Hydra vs FAB scalability comparison
+// (computation vs exposed communication at 8 and 64 cards).
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates the scalability sweeps: speedup-vs-cards curves
+// for ResNet-50 and OPT-6.7B and the communication-share curve.
+func BenchmarkFig9(b *testing.B) {
+	cards := []int{1, 8, 64} // the full 1..64 axis is available via cmd/hydrasim
+	for i := 0; i < b.N; i++ {
+		for _, net := range []model.Network{model.ResNet50(), model.OPT67B()} {
+			if _, err := experiments.Fig9(net, cards); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Ablation benchmarks (design choices of DESIGN.md §5) -----------------
+
+func benchProgram(b *testing.B, cards int, emit func(*mapping.Context) error) {
+	b.Helper()
+	cfg := sim.HydraConfig()
+	for i := 0; i < b.N; i++ {
+		bd := task.NewBuilder(cards, min(cards, 8))
+		ctx := mapping.NewContext(bd, cfg.Scheme, cards)
+		if err := emit(ctx); err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.Run(bd.Build(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Makespan*1e3, "simulated-ms")
+	}
+}
+
+// BenchmarkAblationConvRingBroadcast vs BenchmarkAblationConvGather compare
+// the paper's pipelined sequential broadcast (Fig. 2) against naive
+// gather-and-rebroadcast aggregation for a convolution layer.
+func BenchmarkAblationConvRingBroadcast(b *testing.B) {
+	benchProgram(b, 8, func(c *mapping.Context) error {
+		return c.DistributeBroadcast(512, mapping.ConvBNUnit, 16, "ConvBN")
+	})
+}
+
+func BenchmarkAblationConvGather(b *testing.B) {
+	benchProgram(b, 8, func(c *mapping.Context) error {
+		return c.DistributeGather(512, mapping.ConvBNUnit, 16, "ConvBN")
+	})
+}
+
+// BenchmarkAblationDFTTree vs BenchmarkAblationDFTStar compare tree vs
+// single-node aggregation of the giant-step partial sums (Fig. 3(d)).
+func BenchmarkAblationDFTTree(b *testing.B) {
+	benchProgram(b, 16, func(c *mapping.Context) error {
+		return c.MatVec(mapping.MatVecOptions{BS: 2, GS: 64}, "DFT")
+	})
+}
+
+func BenchmarkAblationDFTStar(b *testing.B) {
+	benchProgram(b, 16, func(c *mapping.Context) error {
+		return c.MatVec(mapping.MatVecOptions{BS: 2, GS: 64, StarAggregation: true}, "DFT")
+	})
+}
+
+// BenchmarkAblationUniformBS vs BenchmarkAblationDistributedBS compare the
+// paper's uniform baby steps against splitting them across nodes
+// (Section III-B point (1)).
+func BenchmarkAblationUniformBS(b *testing.B) {
+	benchProgram(b, 8, func(c *mapping.Context) error {
+		return c.MatVec(mapping.MatVecOptions{BS: 8, GS: 32}, "DFT")
+	})
+}
+
+func BenchmarkAblationDistributedBS(b *testing.B) {
+	benchProgram(b, 8, func(c *mapping.Context) error {
+		return c.MatVec(mapping.MatVecOptions{BS: 8, GS: 32, DistributedBS: true}, "DFT")
+	})
+}
+
+// BenchmarkAblationHostManagedSync runs the same ResNet-18 program on the
+// Hydra interconnect and on the FAB host-relayed interconnect with identical
+// cards, isolating the communication-architecture contribution. At 8 cards
+// the host path mostly hides behind computation; at 64 cards it dominates
+// (the Fig. 8 effect).
+func BenchmarkAblationHostManagedSync(b *testing.B) {
+	fabCfg := sim.FABConfig()
+	fabCfg.Card = hw.HydraCard() // same cards, different interconnect
+	for _, mode := range []struct {
+		name  string
+		cfg   sim.Config
+		cards int
+		cps   int
+	}{
+		{"hydra-switch-8", sim.HydraConfig(), 8, 8},
+		{"fab-hostpath-8", fabCfg, 8, 2},
+		{"hydra-switch-64", sim.HydraConfig(), 64, 8},
+		{"fab-hostpath-64", fabCfg, 64, 2},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bd := task.NewBuilder(mode.cards, mode.cps)
+				ctx := mapping.NewContext(bd, mode.cfg.Scheme, mode.cards)
+				com := mode.cfg.Network.TransferTime(ctx.CtBytes(), 0, 1, mode.cps)
+				times := mapping.OpTimesFor(mode.cfg.Card, mode.cfg.Scheme, 25, com)
+				boot := mapping.DefaultBootstrapOptions(mode.cfg.Scheme, mode.cards, times)
+				if err := model.ResNet18().Emit(ctx, boot, times); err != nil {
+					b.Fatal(err)
+				}
+				res, err := sim.Run(bd.Build(), mode.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Makespan, "simulated-s")
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures the discrete-event engine itself on
+// a large OPT-6.7B/64-card program (hundreds of thousands of task nodes).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	p := experiments.HydraL()
+	prog, err := p.Build(model.OPT67B())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(prog, p.Sim); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,86 @@
+// Bootstrapping deep-dive: tunes the DFT parameters of CoeffToSlot /
+// SlotToCoeff with the Eq. 1 model (Radix vs bs vs gs, Table V), then builds
+// and simulates a cooperative multi-card bootstrap, comparing the paper's
+// design choices against their ablations: tree vs star aggregation of the
+// giant-step partial sums, and uniform vs distributed baby steps.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hydra/internal/mapping"
+	"hydra/internal/sim"
+	"hydra/internal/task"
+)
+
+func main() {
+	cfg := sim.HydraConfig()
+	const cards = 8
+	ctBytes := float64(cfg.Scheme.CiphertextBytes(25))
+	com := cfg.Network.TransferTime(ctBytes, 0, 1, cards)
+	times := mapping.OpTimesFor(cfg.Card, cfg.Scheme, 25, com)
+
+	fmt.Println("== Eq. 1 parameter search (logSlots 15, 3 DFT levels) ==")
+	for _, n := range []int{1, 8, 64} {
+		t := times
+		if n == 1 {
+			t.Com = 0
+		}
+		params, total, err := mapping.OptimizeDFT(15, 3, n, t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %2d cards: Radix=%v bs=%v, one DFT pass %7.2f ms\n",
+			n, params.Radix, params.BS, total*1e3)
+	}
+
+	fmt.Println("\n== One cooperative bootstrap on 8 cards ==")
+	opts := mapping.DefaultBootstrapOptions(cfg.Scheme, cards, times)
+	run := func(name string, mutate func(*mapping.MatVecOptions)) {
+		b := task.NewBuilder(cards, cards)
+		ctx := mapping.NewContext(b, cfg.Scheme, cards)
+		ctx.Limbs = opts.Limbs
+		// Emit the C2S levels with the requested aggregation variant, then
+		// the rest of the pipeline unmodified.
+		for i := range opts.DFT.Radix {
+			mv := mapping.MatVecOptions{BS: opts.DFT.BS[i], GS: 2 * opts.DFT.Radix[i] / opts.DFT.BS[i]}
+			mutate(&mv)
+			if err := ctx.MatVec(mv, "C2S"); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := ctx.PolyEval(opts.EvaExpDeg, "EvaExp"); err != nil {
+			log.Fatal(err)
+		}
+		for i := range opts.DFT.Radix {
+			mv := mapping.MatVecOptions{BS: opts.DFT.BS[i], GS: 2 * opts.DFT.Radix[i] / opts.DFT.BS[i]}
+			mutate(&mv)
+			if err := ctx.MatVec(mv, "S2C"); err != nil {
+				log.Fatal(err)
+			}
+		}
+		res, err := sim.Run(b.Build(), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-28s %8.2f ms (exposed comm %6.2f ms)\n",
+			name, res.Makespan*1e3, res.ExposedComm()*1e3)
+	}
+	run("paper: tree + uniform bs", func(*mapping.MatVecOptions) {})
+	run("ablation: star aggregation", func(m *mapping.MatVecOptions) { m.StarAggregation = true })
+	run("ablation: distributed bs", func(m *mapping.MatVecOptions) { m.DistributedBS = true })
+
+	fmt.Println("\n== Batch bootstrapping 2 ciphertexts on 16 cards (split groups) ==")
+	b := task.NewBuilder(16, 8)
+	ctx := mapping.NewContext(b, cfg.Scheme, 16)
+	if err := ctx.BootstrapBatch(2, opts, times, "Boot"); err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.Run(b.Build(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  2 bootstraps across 2x8-card groups: %.2f ms, %s\n",
+		res.Makespan*1e3, res.OpTotals)
+}

@@ -1,0 +1,38 @@
+// FHE transformer inference at scale: runs BERT-base and OPT-6.7B
+// (NEXUS-style non-interactive inference) on the Hydra prototypes and the
+// FAB baselines, reproducing the paper's LLM headlines — up to 88-160x over
+// FAB's single card and sub-percent communication overhead on OPT-6.7B.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hydra/internal/experiments"
+	"hydra/internal/model"
+)
+
+func main() {
+	protos := []experiments.Prototype{
+		experiments.FABS(), experiments.Poseidon(), experiments.FABM(),
+		experiments.HydraS(), experiments.HydraM(), experiments.HydraL(),
+	}
+	for _, net := range []model.Network{model.BERTBase(), model.OPT67B()} {
+		fmt.Printf("== %s ==\n", net.Name)
+		times := map[string]float64{}
+		for _, p := range protos {
+			res, err := p.Run(net)
+			if err != nil {
+				log.Fatal(err)
+			}
+			reported := res.Makespan * p.ReportScale
+			times[p.Name] = reported
+			fmt.Printf("%-9s %10.2f s   comm share %5.2f%%   energy %7.1f kJ\n",
+				p.Name, reported, 100*res.CommShare(), res.TotalEnergy()/1e3)
+		}
+		fmt.Printf("Hydra-L speedup: %6.1fx over FAB-S, %5.1fx over Poseidon, %5.2fx over FAB-M\n\n",
+			times["FAB-S"]/times["Hydra-L"],
+			times["Poseidon"]/times["Hydra-L"],
+			times["FAB-M"]/times["Hydra-L"])
+	}
+}

@@ -1,0 +1,48 @@
+// FHE ResNet inference on the Hydra prototypes: lowers the full ResNet-18
+// and ResNet-50 models (multiplexed-packing implementation, Table I
+// parallelism) onto Hydra-S, Hydra-M and Hydra-L, and prints the
+// per-procedure timing and speedup breakdown of Fig. 6.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hydra/internal/experiments"
+	"hydra/internal/model"
+)
+
+func main() {
+	for _, net := range []model.Network{model.ResNet18(), model.ResNet50()} {
+		fmt.Printf("== %s ==\n", net.Name)
+		protos := []experiments.Prototype{
+			experiments.HydraS(), experiments.HydraM(), experiments.HydraL(),
+		}
+		base := map[string]float64{}
+		baseTotal := 0.0
+		for _, p := range protos {
+			res, err := p.Run(net)
+			if err != nil {
+				log.Fatal(err)
+			}
+			spans := res.StepSpanByName()
+			reported := res.Makespan * p.ReportScale
+			fmt.Printf("%-8s total %8.2f s (calibrated), comm share %5.2f%%\n",
+				p.Name, reported, 100*res.CommShare())
+			for _, label := range net.Labels() {
+				line := fmt.Sprintf("  %-8s %9.3f s", label, spans[label]*p.ReportScale)
+				if p.Name == "Hydra-S" {
+					base[label] = spans[label]
+					baseTotal = res.Makespan
+				} else {
+					line += fmt.Sprintf("   speedup %6.2fx", base[label]/spans[label])
+				}
+				fmt.Println(line)
+			}
+			if p.Name != "Hydra-S" {
+				fmt.Printf("  %-8s %19s %6.2fx\n", "TOTAL", "", baseTotal/res.Makespan)
+			}
+		}
+		fmt.Println()
+	}
+}

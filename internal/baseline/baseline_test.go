@@ -1,0 +1,56 @@
+package baseline
+
+import "testing"
+
+func TestTablesComplete(t *testing.T) {
+	accels := []string{"CraterLake", "BTS", "ARK", "SHARP", "FAB-S", "Poseidon", "FAB-M", "Hydra-S", "Hydra-M", "Hydra-L"}
+	for _, acc := range accels {
+		row, ok := TableII[acc]
+		if !ok {
+			t.Fatalf("Table II missing %s", acc)
+		}
+		for _, bm := range Benchmarks {
+			if row[bm] <= 0 {
+				t.Fatalf("Table II %s/%s missing", acc, bm)
+			}
+		}
+	}
+	for _, acc := range []string{"CraterLake", "BTS", "ARK", "SHARP", "Hydra-S", "Hydra-M", "Hydra-L"} {
+		row, ok := TableIII[acc]
+		if !ok {
+			t.Fatalf("Table III missing %s", acc)
+		}
+		for _, bm := range Benchmarks {
+			if row[bm] <= 0 {
+				t.Fatalf("Table III %s/%s missing", acc, bm)
+			}
+		}
+	}
+}
+
+func TestPublishedOrderings(t *testing.T) {
+	// Internal consistency of the published numbers: SHARP is the fastest
+	// ASIC and BTS the slowest on every benchmark.
+	for _, bm := range Benchmarks {
+		if !(TableII["SHARP"][bm] < TableII["ARK"][bm] &&
+			TableII["ARK"][bm] < TableII["CraterLake"][bm] &&
+			TableII["CraterLake"][bm] < TableII["BTS"][bm]) {
+			t.Fatalf("%s: ASIC ordering broken", bm)
+		}
+		if !(TableII["Hydra-L"][bm] < TableII["Hydra-M"][bm] &&
+			TableII["Hydra-M"][bm] < TableII["Hydra-S"][bm]) {
+			t.Fatalf("%s: Hydra prototype ordering broken", bm)
+		}
+	}
+}
+
+func TestASICProfiles(t *testing.T) {
+	if len(ASICs) != 4 {
+		t.Fatalf("expected 4 ASIC profiles, got %d", len(ASICs))
+	}
+	for _, a := range ASICs {
+		if a.AreaMM2 <= 0 || a.PowerW <= 0 {
+			t.Fatalf("%s: incomplete profile", a.Name)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package ckks
+
+import "testing"
+
+func benchContext(b *testing.B) *testContext {
+	b.Helper()
+	return newTestContext(b, 12, 4, []int{1})
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	tc := benchContext(b)
+	vals := randomComplex(tc.params.Slots(), 1)
+	pt, _ := tc.enc.Encode(vals)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc.encr.Encrypt(pt)
+	}
+}
+
+func BenchmarkDecrypt(b *testing.B) {
+	tc := benchContext(b)
+	vals := randomComplex(tc.params.Slots(), 2)
+	pt, _ := tc.enc.Encode(vals)
+	ct := tc.encr.Encrypt(pt)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc.decr.Decrypt(ct)
+	}
+}
+
+func BenchmarkHAdd(b *testing.B) {
+	tc := benchContext(b)
+	vals := randomComplex(tc.params.Slots(), 3)
+	pt, _ := tc.enc.Encode(vals)
+	ct := tc.encr.Encrypt(pt)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc.eval.Add(ct, ct)
+	}
+}
+
+func BenchmarkPMult(b *testing.B) {
+	tc := benchContext(b)
+	vals := randomComplex(tc.params.Slots(), 4)
+	pt, _ := tc.enc.Encode(vals)
+	ct := tc.encr.Encrypt(pt)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc.eval.MulPlain(ct, pt)
+	}
+}
+
+func BenchmarkCMultRelin(b *testing.B) {
+	tc := benchContext(b)
+	vals := randomComplex(tc.params.Slots(), 5)
+	pt, _ := tc.enc.Encode(vals)
+	ct := tc.encr.Encrypt(pt)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc.eval.MulRelin(ct, ct)
+	}
+}
+
+func BenchmarkRotation(b *testing.B) {
+	tc := benchContext(b)
+	vals := randomComplex(tc.params.Slots(), 6)
+	pt, _ := tc.enc.Encode(vals)
+	ct := tc.encr.Encrypt(pt)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc.eval.Rotate(ct, 1)
+	}
+}
+
+func BenchmarkRescale(b *testing.B) {
+	tc := benchContext(b)
+	vals := randomComplex(tc.params.Slots(), 7)
+	pt, _ := tc.enc.Encode(vals)
+	ct := tc.encr.Encrypt(pt)
+	prod := tc.eval.MulPlain(ct, pt)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc.eval.Rescale(prod)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	tc := benchContext(b)
+	vals := randomComplex(tc.params.Slots(), 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tc.enc.Encode(vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRotationsDirect vs BenchmarkRotationsHoisted: the hoisting
+// ablation — 8 rotations of one ciphertext with and without sharing the
+// digit decomposition.
+func BenchmarkRotationsDirect(b *testing.B) {
+	tc := newTestContext(b, 12, 4, []int{1, 2, 3, 4, 5, 6, 7, 8})
+	vals := randomComplex(tc.params.Slots(), 9)
+	pt, _ := tc.enc.Encode(vals)
+	ct := tc.encr.Encrypt(pt)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 1; r <= 8; r++ {
+			tc.eval.Rotate(ct, r)
+		}
+	}
+}
+
+func BenchmarkRotationsHoisted(b *testing.B) {
+	tc := newTestContext(b, 12, 4, []int{1, 2, 3, 4, 5, 6, 7, 8})
+	vals := randomComplex(tc.params.Slots(), 10)
+	pt, _ := tc.enc.Encode(vals)
+	ct := tc.encr.Encrypt(pt)
+	rots := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc.eval.RotateHoisted(ct, rots)
+	}
+}

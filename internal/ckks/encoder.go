@@ -1,0 +1,186 @@
+package ckks
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"math/cmplx"
+
+	"hydra/internal/ring"
+)
+
+// Plaintext is an encoded message: an RNS polynomial (kept in the NTT domain
+// so it can multiply ciphertexts directly) together with its scale.
+type Plaintext struct {
+	Value *ring.Poly
+	Scale float64
+}
+
+// Level returns the plaintext's level.
+func (p *Plaintext) Level() int { return p.Value.Level() }
+
+// Encoder maps complex slot vectors to ring elements via the canonical
+// embedding (the "special FFT" of HEAAN/Lattigo).
+type Encoder struct {
+	params   *Parameters
+	m        int          // 2N
+	rotGroup []int        // 5^j mod 2N, j < N/2
+	roots    []complex128 // e^(2πi·j/2N), j ≤ 2N
+}
+
+// Params returns the encoder's parameter set.
+func (e *Encoder) Params() *Parameters { return e.params }
+
+// NewEncoder builds an encoder for the given parameters.
+func NewEncoder(params *Parameters) *Encoder {
+	n := params.N()
+	m := 2 * n
+	e := &Encoder{params: params, m: m}
+	e.rotGroup = make([]int, n/2)
+	five := 1
+	for i := range e.rotGroup {
+		e.rotGroup[i] = five
+		five = (five * 5) % m
+	}
+	e.roots = make([]complex128, m+1)
+	for j := 0; j <= m; j++ {
+		angle := 2 * math.Pi * float64(j) / float64(m)
+		e.roots[j] = cmplx.Exp(complex(0, angle))
+	}
+	return e
+}
+
+// fftSpecialInv is the inverse canonical-embedding FFT (encode direction).
+func (e *Encoder) fftSpecialInv(vals []complex128) {
+	size := len(vals)
+	for length := size; length >= 2; length >>= 1 {
+		for i := 0; i < size; i += length {
+			lenh := length >> 1
+			lenq := length << 2
+			for j := 0; j < lenh; j++ {
+				idx := (lenq - (e.rotGroup[j] % lenq)) * e.m / lenq
+				u := vals[i+j] + vals[i+j+lenh]
+				v := (vals[i+j] - vals[i+j+lenh]) * e.roots[idx]
+				vals[i+j] = u
+				vals[i+j+lenh] = v
+			}
+		}
+	}
+	bitReverseComplex(vals)
+	inv := complex(1/float64(size), 0)
+	for i := range vals {
+		vals[i] *= inv
+	}
+}
+
+// fftSpecial is the forward canonical-embedding FFT (decode direction).
+func (e *Encoder) fftSpecial(vals []complex128) {
+	bitReverseComplex(vals)
+	size := len(vals)
+	for length := 2; length <= size; length <<= 1 {
+		for i := 0; i < size; i += length {
+			lenh := length >> 1
+			lenq := length << 2
+			for j := 0; j < lenh; j++ {
+				idx := (e.rotGroup[j] % lenq) * e.m / lenq
+				u := vals[i+j]
+				v := vals[i+j+lenh] * e.roots[idx]
+				vals[i+j] = u + v
+				vals[i+j+lenh] = u - v
+			}
+		}
+	}
+}
+
+func bitReverseComplex(vals []complex128) {
+	n := len(vals)
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			vals[i], vals[j] = vals[j], vals[i]
+		}
+	}
+}
+
+// EncodeAtLevel encodes values (len ≤ Slots()) into a fresh plaintext at the
+// given level with the given scale. Shorter inputs are zero-padded.
+func (e *Encoder) EncodeAtLevel(values []complex128, scale float64, level int) (*Plaintext, error) {
+	slots := e.params.Slots()
+	if len(values) > slots {
+		return nil, fmt.Errorf("ckks: %d values exceed %d slots", len(values), slots)
+	}
+	if level < 0 || level > e.params.MaxLevel() {
+		return nil, fmt.Errorf("ckks: level %d out of range", level)
+	}
+	buf := make([]complex128, slots)
+	copy(buf, values)
+	e.fftSpecialInv(buf)
+
+	n := e.params.N()
+	nh := n / 2
+	gap := nh / slots
+	coeffs := make([]*big.Int, n)
+	for i := range coeffs {
+		coeffs[i] = new(big.Int)
+	}
+	for j := 0; j < slots; j++ {
+		setScaledFloat(coeffs[j*gap], real(buf[j])*scale)
+		setScaledFloat(coeffs[nh+j*gap], imag(buf[j])*scale)
+	}
+	poly := e.params.RingQP().NewPoly(level)
+	e.params.RingQP().SetBigInt(coeffs, poly)
+	e.params.RingQP().NTT(poly)
+	return &Plaintext{Value: poly, Scale: scale}, nil
+}
+
+// Encode encodes at the maximum ciphertext level with the default scale.
+func (e *Encoder) Encode(values []complex128) (*Plaintext, error) {
+	return e.EncodeAtLevel(values, e.params.DefaultScale(), e.params.MaxLevel())
+}
+
+func setScaledFloat(dst *big.Int, v float64) {
+	f := new(big.Float).SetFloat64(v)
+	f.Int(dst) // truncation toward zero; sub-unit rounding error is absorbed by the scheme noise
+}
+
+// Decode decodes a plaintext back to a complex slot vector.
+func (e *Encoder) Decode(pt *Plaintext) []complex128 {
+	r := e.params.RingQP()
+	poly := pt.Value.CopyNew()
+	if poly.IsNTT {
+		r.INTT(poly)
+	}
+	n := e.params.N()
+	coeffs := make([]*big.Int, n)
+	r.ToBigInt(poly, coeffs)
+
+	q := r.ModulusProduct(poly.Level())
+	half := new(big.Int).Rsh(q, 1)
+	scale := new(big.Float).SetFloat64(pt.Scale)
+	slots := e.params.Slots()
+	nh := n / 2
+	gap := nh / slots
+	buf := make([]complex128, slots)
+	for j := 0; j < slots; j++ {
+		re := centeredFloat(coeffs[j*gap], q, half, scale)
+		im := centeredFloat(coeffs[nh+j*gap], q, half, scale)
+		buf[j] = complex(re, im)
+	}
+	e.fftSpecial(buf)
+	return buf
+}
+
+func centeredFloat(v, q, half *big.Int, scale *big.Float) float64 {
+	c := new(big.Int).Set(v)
+	if c.Cmp(half) > 0 {
+		c.Sub(c, q)
+	}
+	f := new(big.Float).SetInt(c)
+	f.Quo(f, scale)
+	out, _ := f.Float64()
+	return out
+}

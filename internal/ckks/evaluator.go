@@ -1,0 +1,514 @@
+package ckks
+
+import (
+	"fmt"
+	"math"
+
+	"hydra/internal/ring"
+)
+
+// Evaluator performs homomorphic operations on ciphertexts. It corresponds to
+// the FHE operation set that the Hydra accelerator implements in hardware:
+// HAdd, PMult, CMult (+ relinearization), Rescale, KeySwitch, and Rotation.
+type Evaluator struct {
+	params *Parameters
+	rlk    *RelinearizationKey
+	rtks   *RotationKeySet
+
+	pInvModQi []uint64 // P^-1 mod q_i
+}
+
+// NewEvaluator builds an evaluator. rlk and rtks may be nil if multiplication
+// or rotations respectively are never used.
+func NewEvaluator(params *Parameters, rlk *RelinearizationKey, rtks *RotationKeySet) *Evaluator {
+	r := params.RingQP()
+	ev := &Evaluator{params: params, rlk: rlk, rtks: rtks}
+	ev.pInvModQi = make([]uint64, len(params.Q()))
+	for i := range ev.pInvModQi {
+		ev.pInvModQi[i] = ring.InvMod(params.P()%r.Moduli[i], r.Moduli[i])
+	}
+	return ev
+}
+
+// Params returns the evaluator's parameter set.
+func (ev *Evaluator) Params() *Parameters { return ev.params }
+
+func sameScale(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-6*math.Max(a, b)
+}
+
+// alignLevels drops levels so both ciphertexts share the lower level,
+// returning copies when truncation is needed.
+func alignLevels(a, b *Ciphertext) (*Ciphertext, *Ciphertext) {
+	switch {
+	case a.Level() > b.Level():
+		a2 := a.CopyNew()
+		a2.DropLevel(a.Level() - b.Level())
+		return a2, b
+	case b.Level() > a.Level():
+		b2 := b.CopyNew()
+		b2.DropLevel(b.Level() - a.Level())
+		return a, b2
+	default:
+		return a, b
+	}
+}
+
+// Add returns a + b. Scales must match.
+func (ev *Evaluator) Add(a, b *Ciphertext) *Ciphertext {
+	if !sameScale(a.Scale, b.Scale) {
+		panic(fmt.Sprintf("ckks: scale mismatch in Add: %g vs %g", a.Scale, b.Scale))
+	}
+	a, b = alignLevels(a, b)
+	r := ev.params.RingQP()
+	out := &Ciphertext{C0: r.NewPoly(a.Level()), C1: r.NewPoly(a.Level()), Scale: a.Scale}
+	r.Add(a.C0, b.C0, out.C0)
+	r.Add(a.C1, b.C1, out.C1)
+	return out
+}
+
+// Sub returns a - b. Scales must match.
+func (ev *Evaluator) Sub(a, b *Ciphertext) *Ciphertext {
+	if !sameScale(a.Scale, b.Scale) {
+		panic(fmt.Sprintf("ckks: scale mismatch in Sub: %g vs %g", a.Scale, b.Scale))
+	}
+	a, b = alignLevels(a, b)
+	r := ev.params.RingQP()
+	out := &Ciphertext{C0: r.NewPoly(a.Level()), C1: r.NewPoly(a.Level()), Scale: a.Scale}
+	r.Sub(a.C0, b.C0, out.C0)
+	r.Sub(a.C1, b.C1, out.C1)
+	return out
+}
+
+// Neg returns -ct (free: no level or scale cost).
+func (ev *Evaluator) Neg(ct *Ciphertext) *Ciphertext {
+	r := ev.params.RingQP()
+	out := &Ciphertext{C0: r.NewPoly(ct.Level()), C1: r.NewPoly(ct.Level()), Scale: ct.Scale}
+	r.Neg(ct.C0, out.C0)
+	r.Neg(ct.C1, out.C1)
+	return out
+}
+
+// RaiseModulus re-expresses a level-0 ciphertext at the top level without
+// changing its coefficients (the ModRaise step of bootstrapping): the result
+// decrypts to m + q0·I(X) for a small integer polynomial I, which the
+// EvaExp/DAF stage of bootstrapping removes homomorphically.
+func (ev *Evaluator) RaiseModulus(ct *Ciphertext) *Ciphertext {
+	if ct.Level() != 0 {
+		panic("ckks: RaiseModulus expects a level-0 ciphertext")
+	}
+	r := ev.params.RingQP()
+	top := len(ev.params.Q()) - 1
+	out := &Ciphertext{C0: r.NewPoly(top), C1: r.NewPoly(top), Scale: ct.Scale}
+	q0 := r.Moduli[0]
+	half := q0 >> 1
+	for comp, pair := range [][2]*ring.Poly{{ct.C0, out.C0}, {ct.C1, out.C1}} {
+		_ = comp
+		src := pair[0].CopyNew()
+		r.INTT(src)
+		coeffs := src.Coeffs[0]
+		dst := pair[1]
+		for j, c := range coeffs {
+			for i := 0; i <= top; i++ {
+				qi := r.Moduli[i]
+				if c <= half {
+					dst.Coeffs[i][j] = c % qi
+				} else {
+					dst.Coeffs[i][j] = ring.NegMod((q0-c)%qi, qi)
+				}
+			}
+		}
+		dst.IsNTT = false
+		r.NTT(dst)
+	}
+	return out
+}
+
+// AddPlain returns ct + pt. Scales must match.
+func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	if !sameScale(ct.Scale, pt.Scale) {
+		panic(fmt.Sprintf("ckks: scale mismatch in AddPlain: %g vs %g", ct.Scale, pt.Scale))
+	}
+	lvl := ct.Level()
+	if pt.Level() < lvl {
+		lvl = pt.Level()
+	}
+	r := ev.params.RingQP()
+	out := &Ciphertext{C0: r.NewPoly(lvl), C1: r.NewPoly(lvl), Scale: ct.Scale}
+	r.Add(atLevel(ct.C0, lvl), atLevel(pt.Value, lvl), out.C0)
+	out.C1.Copy(atLevel(ct.C1, lvl))
+	return out
+}
+
+// AddConst returns ct + c where c is a scalar applied to every slot. The
+// constant is encoded at the ciphertext's scale, so the result keeps it.
+func (ev *Evaluator) AddConst(ct *Ciphertext, c float64) *Ciphertext {
+	r := ev.params.RingQP()
+	out := ct.CopyNew()
+	// A constant polynomial k has NTT image k in every position.
+	neg := c < 0
+	k := uint64(math.Round(math.Abs(c) * ct.Scale))
+	for i := 0; i <= out.Level(); i++ {
+		q := r.Moduli[i]
+		kq := k % q
+		if neg {
+			kq = ring.NegMod(kq, q)
+		}
+		row := out.C0.Coeffs[i]
+		for j := range row {
+			row[j] = ring.AddMod(row[j], kq, q)
+		}
+	}
+	return out
+}
+
+// MulPlain returns ct ⊙ pt. The result's scale is the product of scales; call
+// Rescale to bring it back down.
+func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	lvl := ct.Level()
+	if pt.Level() < lvl {
+		lvl = pt.Level()
+	}
+	r := ev.params.RingQP()
+	out := &Ciphertext{C0: r.NewPoly(lvl), C1: r.NewPoly(lvl), Scale: ct.Scale * pt.Scale}
+	r.MulCoeffs(atLevel(ct.C0, lvl), atLevel(pt.Value, lvl), out.C0)
+	r.MulCoeffs(atLevel(ct.C1, lvl), atLevel(pt.Value, lvl), out.C1)
+	return out
+}
+
+// MulByConst multiplies every slot by scalar c, encoding c at the default
+// scale. The result's scale is ct.Scale · DefaultScale; Rescale afterwards.
+func (ev *Evaluator) MulByConst(ct *Ciphertext, c float64) *Ciphertext {
+	return ev.MulByConstWithScale(ct, c, ev.params.DefaultScale())
+}
+
+// MulByConstWithScale multiplies every slot by scalar c encoded at the given
+// scale. The result's scale is ct.Scale · round(|c|·scale)/|c| when c ≠ 0
+// (i.e. the exact integer multiplier is accounted for), ct.Scale · scale when
+// c is 0. Choosing scale = q_level · target / ct.Scale followed by Rescale
+// lands the ciphertext exactly on a target scale, which the tree polynomial
+// evaluator uses to align branches of different depth.
+func (ev *Evaluator) MulByConstWithScale(ct *Ciphertext, c, scale float64) *Ciphertext {
+	r := ev.params.RingQP()
+	neg := c < 0
+	k := uint64(math.Round(math.Abs(c) * scale))
+	outScale := ct.Scale * scale
+	if c != 0 && k != 0 {
+		// Track the scale actually applied by the rounded integer multiplier.
+		outScale = ct.Scale * float64(k) / math.Abs(c)
+	}
+	out := &Ciphertext{C0: r.NewPoly(ct.Level()), C1: r.NewPoly(ct.Level()), Scale: outScale}
+	for i := 0; i <= ct.Level(); i++ {
+		q := r.Moduli[i]
+		kq := k % q
+		if neg {
+			kq = ring.NegMod(kq, q)
+		}
+		ks := ring.ShoupPrecomp(kq, q)
+		src0, src1 := ct.C0.Coeffs[i], ct.C1.Coeffs[i]
+		dst0, dst1 := out.C0.Coeffs[i], out.C1.Coeffs[i]
+		for j := range src0 {
+			dst0[j] = ring.MulModShoup(src0[j], kq, ks, q)
+			dst1[j] = ring.MulModShoup(src1[j], kq, ks, q)
+		}
+	}
+	out.C0.IsNTT = true
+	out.C1.IsNTT = true
+	return out
+}
+
+// MulRelin returns a·b, relinearized back to degree 1 with the evaluator's
+// relinearization key. The result's scale is the product; Rescale afterwards.
+func (ev *Evaluator) MulRelin(a, b *Ciphertext) *Ciphertext {
+	if ev.rlk == nil {
+		panic("ckks: evaluator has no relinearization key")
+	}
+	a, b = alignLevels(a, b)
+	r := ev.params.RingQP()
+	lvl := a.Level()
+
+	d0 := r.NewPoly(lvl)
+	d1 := r.NewPoly(lvl)
+	d2 := r.NewPoly(lvl)
+	tmp := r.NewPoly(lvl)
+	r.MulCoeffs(a.C0, b.C0, d0)
+	r.MulCoeffs(a.C0, b.C1, d1)
+	r.MulCoeffs(a.C1, b.C0, tmp)
+	r.Add(d1, tmp, d1)
+	r.MulCoeffs(a.C1, b.C1, d2)
+
+	ks0, ks1 := ev.keySwitch(d2, ev.rlk.Key)
+	r.Add(d0, ks0, d0)
+	r.Add(d1, ks1, d1)
+	return &Ciphertext{C0: d0, C1: d1, Scale: a.Scale * b.Scale}
+}
+
+// Rescale divides the ciphertext by its top modulus (rounding), dropping one
+// level and dividing the scale by that modulus.
+func (ev *Evaluator) Rescale(ct *Ciphertext) *Ciphertext {
+	lvl := ct.Level()
+	if lvl == 0 {
+		panic("ckks: cannot rescale at level 0")
+	}
+	r := ev.params.RingQP()
+	qLast := r.Moduli[lvl]
+	out := &Ciphertext{
+		C0:    ev.divRoundByModulus(ct.C0, lvl),
+		C1:    ev.divRoundByModulus(ct.C1, lvl),
+		Scale: ct.Scale / float64(qLast),
+	}
+	return out
+}
+
+// divRoundByModulus computes round(p / q_top) over the remaining residues.
+// p is NTT-domain at level top; the result is NTT-domain at level top-1.
+func (ev *Evaluator) divRoundByModulus(p *ring.Poly, top int) *ring.Poly {
+	r := ev.params.RingQP()
+	qLast := r.Moduli[top]
+	qLastInv := func(qj uint64) uint64 { return ring.InvMod(qLast%qj, qj) }
+
+	work := p.CopyNew()
+	r.INTT(work)
+	out := r.NewPoly(top - 1)
+	half := qLast >> 1
+	for j := 0; j < top; j++ {
+		qj := r.Moduli[j]
+		inv := qLastInv(qj)
+		invShoup := ring.ShoupPrecomp(inv, qj)
+		src := work.Coeffs[j]
+		rem := work.Coeffs[top]
+		dst := out.Coeffs[j]
+		for t := range dst {
+			// Centered remainder of the dropped residue.
+			var rr uint64
+			if rem[t] <= half {
+				rr = rem[t] % qj
+			} else {
+				rr = ring.NegMod((qLast-rem[t])%qj, qj)
+			}
+			dst[t] = ring.MulModShoup(ring.SubMod(src[t], rr, qj), inv, invShoup, qj)
+		}
+	}
+	r.NTT(out)
+	return out
+}
+
+// Rotate rotates slots left by rot positions using the evaluator's rotation
+// keys. Rotate(ct, r) places old slot j+r in new slot j.
+func (ev *Evaluator) Rotate(ct *Ciphertext, rot int) *Ciphertext {
+	k := ring.GaloisElementForRotation(ev.params.N(), rot)
+	return ev.automorphism(ct, k)
+}
+
+// Conjugate applies complex conjugation to every slot.
+func (ev *Evaluator) Conjugate(ct *Ciphertext) *Ciphertext {
+	k := ring.GaloisElementConjugate(ev.params.N())
+	return ev.automorphism(ct, k)
+}
+
+func (ev *Evaluator) automorphism(ct *Ciphertext, k uint64) *Ciphertext {
+	if k == 1 {
+		return ct.CopyNew()
+	}
+	if ev.rtks == nil {
+		panic("ckks: evaluator has no rotation keys")
+	}
+	swk, ok := ev.rtks.Keys[k]
+	if !ok {
+		panic(fmt.Sprintf("ckks: missing rotation key for Galois element %d", k))
+	}
+	r := ev.params.RingQP()
+	lvl := ct.Level()
+	perm := ring.AutomorphismNTTIndex(r.N, k)
+
+	rc0 := r.NewPoly(lvl)
+	rc1 := r.NewPoly(lvl)
+	r.AutomorphismNTT(ct.C0, perm, rc0)
+	r.AutomorphismNTT(ct.C1, perm, rc1)
+
+	ks0, ks1 := ev.keySwitch(rc1, swk)
+	r.Add(rc0, ks0, rc0)
+	return &Ciphertext{C0: rc0, C1: ks1, Scale: ct.Scale}
+}
+
+// hoistedDecomp holds the digit decomposition of a polynomial, extended to
+// the active moduli plus P and transformed to the NTT domain — the expensive
+// prefix of a key switch, reusable across many rotations of one ciphertext
+// (the hoisting optimization BSGS baby steps exploit).
+type hoistedDecomp struct {
+	lvl    int
+	modIdx []int        // accumulator row -> ring table index
+	digits [][][]uint64 // [digit][row][coefficient], NTT domain
+}
+
+// decomposeExt computes the hoisted decomposition of d (NTT domain).
+func (ev *Evaluator) decomposeExt(d *ring.Poly) *hoistedDecomp {
+	r := ev.params.RingQP()
+	lvl := d.Level()
+	n := r.N
+	pIdx := ev.params.SpecialIndex()
+
+	dCoeff := d.CopyNew()
+	r.INTT(dCoeff)
+
+	h := &hoistedDecomp{lvl: lvl, modIdx: make([]int, lvl+2)}
+	for j := 0; j <= lvl; j++ {
+		h.modIdx[j] = j
+	}
+	h.modIdx[lvl+1] = pIdx
+
+	h.digits = make([][][]uint64, lvl+1)
+	for i := 0; i <= lvl; i++ {
+		digit := dCoeff.Coeffs[i]
+		rows := make([][]uint64, lvl+2)
+		for jj, tblIdx := range h.modIdx {
+			qj := r.Moduli[tblIdx]
+			ext := make([]uint64, n)
+			if tblIdx == i {
+				copy(ext, digit)
+			} else {
+				for t := 0; t < n; t++ {
+					ext[t] = digit[t] % qj
+				}
+			}
+			r.Tables[tblIdx].Forward(ext)
+			rows[jj] = ext
+		}
+		h.digits[i] = rows
+	}
+	return h
+}
+
+// permute returns the decomposition of τ_k(d) given the decomposition of d:
+// the automorphism is a coefficient permutation, so it commutes with digit
+// decomposition and acts as the NTT-domain index permutation on every row.
+func (h *hoistedDecomp) permute(perm []int) *hoistedDecomp {
+	out := &hoistedDecomp{lvl: h.lvl, modIdx: h.modIdx, digits: make([][][]uint64, len(h.digits))}
+	for i, rows := range h.digits {
+		newRows := make([][]uint64, len(rows))
+		for j, row := range rows {
+			nr := make([]uint64, len(row))
+			for t := range nr {
+				nr[t] = row[perm[t]]
+			}
+			newRows[j] = nr
+		}
+		out.digits[i] = newRows
+	}
+	return out
+}
+
+// ksFromDecomp multiply-accumulates a hoisted decomposition against a
+// switching key and performs the ModDown.
+func (ev *Evaluator) ksFromDecomp(h *hoistedDecomp, swk *SwitchingKey) (out0, out1 *ring.Poly) {
+	r := ev.params.RingQP()
+	n := r.N
+	acc0 := make([][]uint64, h.lvl+2)
+	acc1 := make([][]uint64, h.lvl+2)
+	for j := range acc0 {
+		acc0[j] = make([]uint64, n)
+		acc1[j] = make([]uint64, n)
+	}
+	for i := 0; i <= h.lvl; i++ {
+		for jj, tblIdx := range h.modIdx {
+			qj := r.Moduli[tblIdx]
+			m := r.Tables[tblIdx].Mod
+			ext := h.digits[i][jj]
+			kb := swk.DigitsB[i].Coeffs[tblIdx]
+			ka := swk.DigitsA[i].Coeffs[tblIdx]
+			a0 := acc0[jj]
+			a1 := acc1[jj]
+			for t := 0; t < n; t++ {
+				a0[t] = ring.AddMod(a0[t], m.MulModBarrett(ext[t], kb[t]), qj)
+				a1[t] = ring.AddMod(a1[t], m.MulModBarrett(ext[t], ka[t]), qj)
+			}
+		}
+	}
+	out0 = ev.modDownP(acc0, h.modIdx, h.lvl)
+	out1 = ev.modDownP(acc1, h.modIdx, h.lvl)
+	return out0, out1
+}
+
+// keySwitch applies swk to the degree-1 part d (NTT domain, level l),
+// returning the pair to fold into a ciphertext: (out0, out1) such that
+// out0 + out1·sOut ≈ d·sIn.
+//
+// This is the RNS digit-decomposition key switch with one special modulus:
+// each residue of d is a digit; digits are extended to all active moduli plus
+// P, multiplied against the key, accumulated, and the result divided by P.
+func (ev *Evaluator) keySwitch(d *ring.Poly, swk *SwitchingKey) (out0, out1 *ring.Poly) {
+	return ev.ksFromDecomp(ev.decomposeExt(d), swk)
+}
+
+// RotateHoisted rotates ct by every index in rots, decomposing the
+// ciphertext once and reusing the extended digits for each rotation — the
+// hoisting optimization that makes BSGS baby steps cheap. Results decrypt
+// identically to per-index Rotate calls (the digit lift differs, the values
+// do not).
+func (ev *Evaluator) RotateHoisted(ct *Ciphertext, rots []int) map[int]*Ciphertext {
+	if ev.rtks == nil {
+		panic("ckks: evaluator has no rotation keys")
+	}
+	r := ev.params.RingQP()
+	lvl := ct.Level()
+	out := make(map[int]*Ciphertext, len(rots))
+	var h *hoistedDecomp
+	for _, rot := range rots {
+		if _, done := out[rot]; done {
+			continue
+		}
+		k := ring.GaloisElementForRotation(ev.params.N(), rot)
+		if k == 1 {
+			out[rot] = ct.CopyNew()
+			continue
+		}
+		swk, ok := ev.rtks.Keys[k]
+		if !ok {
+			panic(fmt.Sprintf("ckks: missing rotation key for Galois element %d", k))
+		}
+		if h == nil {
+			h = ev.decomposeExt(ct.C1)
+		}
+		perm := ring.AutomorphismNTTIndex(r.N, k)
+		ks0, ks1 := ev.ksFromDecomp(h.permute(perm), swk)
+		rc0 := r.NewPoly(lvl)
+		r.AutomorphismNTT(ct.C0, perm, rc0)
+		r.Add(rc0, ks0, rc0)
+		out[rot] = &Ciphertext{C0: rc0, C1: ks1, Scale: ct.Scale}
+	}
+	return out
+}
+
+// modDownP divides the accumulated extended polynomial by P with rounding,
+// returning an NTT-domain polynomial at level lvl.
+func (ev *Evaluator) modDownP(acc [][]uint64, modIdx []int, lvl int) *ring.Poly {
+	r := ev.params.RingQP()
+	p := ev.params.P()
+	half := p >> 1
+
+	// Bring all rows to the coefficient domain.
+	for j, tblIdx := range modIdx {
+		r.Tables[tblIdx].Inverse(acc[j])
+	}
+	rem := acc[lvl+1] // residue mod P
+
+	out := r.NewPoly(lvl)
+	for j := 0; j <= lvl; j++ {
+		qj := r.Moduli[j]
+		inv := ev.pInvModQi[j]
+		invShoup := ring.ShoupPrecomp(inv, qj)
+		src := acc[j]
+		dst := out.Coeffs[j]
+		for t := range dst {
+			var rr uint64
+			if rem[t] <= half {
+				rr = rem[t] % qj
+			} else {
+				rr = ring.NegMod((p-rem[t])%qj, qj)
+			}
+			dst[t] = ring.MulModShoup(ring.SubMod(src[t], rr, qj), inv, invShoup, qj)
+		}
+	}
+	r.NTT(out)
+	return out
+}

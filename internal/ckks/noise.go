@@ -1,0 +1,99 @@
+package ckks
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Noise accounting: heuristic error bounds for the CKKS operations and a
+// measured-noise probe. The bounds are the standard central-limit heuristics
+// (fresh encryption noise ≈ σ·√(4N/3 + N), additive composition in
+// quadrature, key-switch noise ≈ √(digits)·q_digit·σ·√N / P) with a safety
+// factor; the tests check that measured noise stays below them, which guards
+// the parameter choices used across this repository.
+
+// NoiseModel predicts error magnitudes (in coefficient units, i.e. already
+// multiplied by the scale) for ciphertexts under a parameter set.
+type NoiseModel struct {
+	params *Parameters
+	// Safety multiplies every bound (heuristics are ~standard-deviation
+	// estimates; 8 standard deviations make violations vanishingly rare).
+	Safety float64
+}
+
+// NewNoiseModel builds a model for the parameters.
+func NewNoiseModel(params *Parameters) *NoiseModel {
+	return &NoiseModel{params: params, Safety: 8}
+}
+
+// Fresh bounds the slot-domain maximum error (× scale) of a public-key
+// encryption: the coefficient error e0 + v·e_pk has per-coefficient standard
+// deviation ≈ σ·√(4N/3 + N), and the canonical embedding amplifies the
+// maximum over slots by ≈ √N.
+func (nm *NoiseModel) Fresh() float64 {
+	n := float64(nm.params.N())
+	sigma := nm.params.Sigma()
+	return nm.Safety * sigma * math.Sqrt(4*n/3+n+1) * math.Sqrt(n) / 2
+}
+
+// Add bounds the error of a sum given the operand errors (independent
+// errors compose in quadrature).
+func (nm *NoiseModel) Add(a, b float64) float64 {
+	return math.Sqrt(a*a + b*b)
+}
+
+// MulPlain bounds the error after multiplying by a plaintext with slot
+// values at most ptInfNorm encoded at ptScale: the incoming error scales by
+// the plaintext, and the plaintext's own encoding rounding (≤ 0.5 per
+// coefficient, ≈ √N/2 at the slot maximum) multiplies the message of
+// magnitude msgNorm carried at ctScale.
+func (nm *NoiseModel) MulPlain(errIn, ptInfNorm, ptScale, msgNorm, ctScale float64) float64 {
+	n := float64(nm.params.N())
+	return errIn*ptInfNorm*ptScale + nm.Safety*msgNorm*ctScale*math.Sqrt(n)/2
+}
+
+// KeySwitch bounds the additional error introduced by one key switch at the
+// given level: each of the (level+1) single-limb digits contributes
+// q_digit·σ·√N noise, divided by P after the ModDown, plus the ModDown
+// rounding itself.
+func (nm *NoiseModel) KeySwitch(level int) float64 {
+	n := float64(nm.params.N())
+	sigma := nm.params.Sigma()
+	p := float64(nm.params.P())
+	total := 0.0
+	for i := 0; i <= level; i++ {
+		qi := float64(nm.params.Q()[i])
+		contrib := qi * sigma * math.Sqrt(n) / p
+		total += contrib * contrib
+	}
+	// ModDown rounding adds ≤ (1+||s||₁)/2 per coefficient, with ||s||₁ ≈
+	// 2N/3 for a dense ternary secret; the slot-domain maximum picks up
+	// another ~√N.
+	hs := 1 + 2*n/3
+	return nm.Safety * (math.Sqrt(total)*math.Sqrt(n) + hs/2*math.Sqrt(n))
+}
+
+// Rescale bounds the error after dividing by q_top: the incoming error
+// shrinks by q_top and the rounding adds ≤ (1+||s||₁)/2 per coefficient
+// (||s||₁ ≈ 2N/3 for a dense ternary secret), amplified ~√N when read as a
+// slot-domain maximum.
+func (nm *NoiseModel) Rescale(errIn float64, level int) float64 {
+	n := float64(nm.params.N())
+	qTop := float64(nm.params.Q()[level])
+	hs := 1 + 2*n/3
+	return errIn/qTop + nm.Safety*hs/2*math.Sqrt(n)
+}
+
+// MeasureNoise returns the maximum slot-domain error of ct against the
+// expected values, expressed in coefficient units (error × scale) so it is
+// directly comparable with the model's bounds.
+func MeasureNoise(dec *Decryptor, enc *Encoder, ct *Ciphertext, want []complex128) float64 {
+	got := enc.Decode(dec.Decrypt(ct))
+	maxE := 0.0
+	for i := range want {
+		if e := cmplx.Abs(got[i] - want[i]); e > maxE {
+			maxE = e
+		}
+	}
+	return maxE * ct.Scale
+}

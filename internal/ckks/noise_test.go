@@ -1,0 +1,98 @@
+package ckks
+
+import "testing"
+
+func TestFreshNoiseWithinBound(t *testing.T) {
+	tc := newTestContext(t, 10, 2, nil)
+	nm := NewNoiseModel(tc.params)
+	vals := randomComplex(tc.params.Slots(), 40)
+	pt, _ := tc.enc.Encode(vals)
+	for trial := int64(0); trial < 5; trial++ {
+		encr := NewEncryptor(tc.params, tc.pk, 100+trial)
+		ct := encr.Encrypt(pt)
+		measured := MeasureNoise(tc.decr, tc.enc, ct, vals)
+		if bound := nm.Fresh(); measured > bound {
+			t.Fatalf("trial %d: fresh noise %g exceeds bound %g", trial, measured, bound)
+		}
+	}
+}
+
+func TestAdditionNoiseComposes(t *testing.T) {
+	tc := newTestContext(t, 10, 2, nil)
+	nm := NewNoiseModel(tc.params)
+	vals := randomComplex(tc.params.Slots(), 41)
+	pt, _ := tc.enc.Encode(vals)
+
+	// Sum of 16 independent encryptions: independent errors compose in
+	// quadrature.
+	acc := tc.encr.Encrypt(pt)
+	want := make([]complex128, len(vals))
+	copy(want, vals)
+	bound := nm.Fresh()
+	for i := int64(0); i < 15; i++ {
+		fresh := NewEncryptor(tc.params, tc.pk, 200+i).Encrypt(pt)
+		acc = tc.eval.Add(acc, fresh)
+		for j := range want {
+			want[j] += vals[j]
+		}
+		bound = nm.Add(bound, nm.Fresh())
+	}
+	measured := MeasureNoise(tc.decr, tc.enc, acc, want)
+	if measured > bound {
+		t.Fatalf("16-term sum noise %g exceeds bound %g", measured, bound)
+	}
+}
+
+func TestRotationNoiseWithinBound(t *testing.T) {
+	tc := newTestContext(t, 10, 2, []int{1})
+	nm := NewNoiseModel(tc.params)
+	slots := tc.params.Slots()
+	vals := make([]complex128, slots)
+	for i := range vals {
+		vals[i] = complex(float64(i%9)/9, 0)
+	}
+	pt, _ := tc.enc.Encode(vals)
+	ct := tc.encr.Encrypt(pt)
+
+	// Eight chained rotations accumulate eight key-switch noises.
+	bound := nm.Fresh()
+	acc := ct
+	for i := 0; i < 8; i++ {
+		acc = tc.eval.Rotate(acc, 1)
+		bound = nm.Add(bound, nm.KeySwitch(acc.Level()))
+	}
+	want := make([]complex128, slots)
+	for j := range want {
+		want[j] = vals[(j+8)%slots]
+	}
+	measured := MeasureNoise(tc.decr, tc.enc, acc, want)
+	if measured > bound {
+		t.Fatalf("rotation-chain noise %g exceeds bound %g", measured, bound)
+	}
+	// The bound should not be absurdly loose either (staying within a few
+	// orders of magnitude keeps the model meaningful).
+	if bound > measured*1e5 {
+		t.Fatalf("bound %g is vacuous against measurement %g", bound, measured)
+	}
+}
+
+func TestRescaleNoiseWithinBound(t *testing.T) {
+	tc := newTestContext(t, 10, 3, nil)
+	nm := NewNoiseModel(tc.params)
+	vals := randomComplex(tc.params.Slots(), 42)
+	pt, _ := tc.enc.Encode(vals)
+	ct := tc.encr.Encrypt(pt)
+	prod := tc.eval.MulPlain(ct, pt)
+	bound := nm.MulPlain(nm.Fresh(), 1.5, tc.params.DefaultScale(), 1.5, tc.params.DefaultScale())
+	res := tc.eval.Rescale(prod)
+	bound = nm.Rescale(bound, prod.Level())
+
+	want := make([]complex128, len(vals))
+	for i := range vals {
+		want[i] = vals[i] * vals[i]
+	}
+	measured := MeasureNoise(tc.decr, tc.enc, res, want)
+	if measured > bound {
+		t.Fatalf("rescale noise %g exceeds bound %g", measured, bound)
+	}
+}

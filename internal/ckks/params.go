@@ -1,0 +1,159 @@
+// Package ckks implements a functional RNS-CKKS homomorphic encryption
+// scheme: approximate arithmetic over encrypted complex vectors with
+// homomorphic addition, plaintext and ciphertext multiplication, rescaling,
+// key switching, and slot rotations.
+//
+// This is the arithmetic substrate that the Hydra accelerator model executes:
+// every operation the scheduler dispatches (HAdd, PMult, CMult, Rotation,
+// Rescale, KeySwitch) has a real implementation here, so the task mappings in
+// internal/mapping can be validated functionally at laptop-scale parameters
+// while the performance model in internal/hw uses the paper's N = 2^16
+// parameters.
+package ckks
+
+import (
+	"fmt"
+
+	"hydra/internal/ring"
+)
+
+// Parameters describes a CKKS parameter set.
+type Parameters struct {
+	logN     int
+	logSlots int
+	q        []uint64 // ciphertext modulus chain q_0 … q_L
+	p        uint64   // special (key-switching) modulus
+	scale    float64
+	sigma    float64
+
+	ringQP *ring.Ring // ring over q_0 … q_L, p
+}
+
+// ParametersLiteral is the user-facing description from which Parameters are
+// built. LogQ lists the bit sizes of the ciphertext moduli; LogP the bit size
+// of the single special modulus used for key switching.
+type ParametersLiteral struct {
+	LogN     int
+	LogSlots int // defaults to LogN-1
+	LogQ     []int
+	LogP     int
+	Scale    float64 // defaults to 2^40
+	Sigma    float64 // defaults to 3.2
+}
+
+// NewParameters validates the literal and precomputes the ring.
+func NewParameters(lit ParametersLiteral) (*Parameters, error) {
+	if lit.LogN < 3 || lit.LogN > 17 {
+		return nil, fmt.Errorf("ckks: LogN %d out of supported range [3,17]", lit.LogN)
+	}
+	if lit.LogSlots == 0 {
+		lit.LogSlots = lit.LogN - 1
+	}
+	if lit.LogSlots < 0 || lit.LogSlots > lit.LogN-1 {
+		return nil, fmt.Errorf("ckks: LogSlots %d out of range [0,%d]", lit.LogSlots, lit.LogN-1)
+	}
+	if len(lit.LogQ) == 0 {
+		return nil, fmt.Errorf("ckks: need at least one ciphertext modulus")
+	}
+	if lit.LogP == 0 {
+		return nil, fmt.Errorf("ckks: need a special modulus (LogP)")
+	}
+	if lit.Scale == 0 {
+		lit.Scale = 1 << 40
+	}
+	if lit.Sigma == 0 {
+		lit.Sigma = 3.2
+	}
+	n := 1 << lit.LogN
+
+	// Group requested bit sizes so equal sizes draw distinct primes.
+	counts := map[int]int{}
+	for _, lq := range lit.LogQ {
+		counts[lq]++
+	}
+	counts[lit.LogP]++
+	pools := map[int][]uint64{}
+	for sz, c := range counts {
+		pools[sz] = ring.GenerateNTTPrimes(sz, n, c)
+	}
+	next := func(sz int) uint64 {
+		v := pools[sz][0]
+		pools[sz] = pools[sz][1:]
+		return v
+	}
+	q := make([]uint64, len(lit.LogQ))
+	for i, lq := range lit.LogQ {
+		q[i] = next(lq)
+	}
+	p := next(lit.LogP)
+
+	moduli := append(append([]uint64(nil), q...), p)
+	rng, err := ring.NewRing(n, moduli)
+	if err != nil {
+		return nil, err
+	}
+	return &Parameters{
+		logN:     lit.LogN,
+		logSlots: lit.LogSlots,
+		q:        q,
+		p:        p,
+		scale:    lit.Scale,
+		sigma:    lit.Sigma,
+		ringQP:   rng,
+	}, nil
+}
+
+// TestParameters returns a small parameter set suitable for unit tests:
+// N = 2^(logN), the given number of 45-bit levels plus a 50-bit base modulus
+// and 50-bit special modulus, scale 2^45 (matching the level moduli so the
+// scale stays stable across rescaling).
+func TestParameters(logN, levels int) *Parameters {
+	logQ := make([]int, levels+1)
+	logQ[0] = 50
+	for i := 1; i <= levels; i++ {
+		logQ[i] = 45
+	}
+	p, err := NewParameters(ParametersLiteral{
+		LogN:  logN,
+		LogQ:  logQ,
+		LogP:  50,
+		Scale: 1 << 45,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// LogN returns log2 of the ring degree.
+func (p *Parameters) LogN() int { return p.logN }
+
+// N returns the ring degree.
+func (p *Parameters) N() int { return 1 << p.logN }
+
+// LogSlots returns log2 of the number of plaintext slots.
+func (p *Parameters) LogSlots() int { return p.logSlots }
+
+// Slots returns the number of plaintext slots.
+func (p *Parameters) Slots() int { return 1 << p.logSlots }
+
+// MaxLevel returns the index of the highest ciphertext level.
+func (p *Parameters) MaxLevel() int { return len(p.q) - 1 }
+
+// Q returns the ciphertext modulus chain.
+func (p *Parameters) Q() []uint64 { return p.q }
+
+// P returns the special modulus.
+func (p *Parameters) P() uint64 { return p.p }
+
+// DefaultScale returns the default encoding scale Δ.
+func (p *Parameters) DefaultScale() float64 { return p.scale }
+
+// Sigma returns the error distribution's standard deviation.
+func (p *Parameters) Sigma() float64 { return p.sigma }
+
+// RingQP returns the ring over all moduli (ciphertext chain plus special).
+func (p *Parameters) RingQP() *ring.Ring { return p.ringQP }
+
+// SpecialIndex is the residue index of the special modulus in RingQP.
+func (p *Parameters) SpecialIndex() int { return len(p.q) }

@@ -1,0 +1,282 @@
+package cluster
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"hydra/internal/ckks"
+)
+
+type env struct {
+	params *ckks.Parameters
+	enc    *ckks.Encoder
+	encr   *ckks.Encryptor
+	decr   *ckks.Decryptor
+	eval   *ckks.Evaluator
+}
+
+func newEnv(t testing.TB, logN, levels int, rotations []int) *env {
+	t.Helper()
+	params := ckks.TestParameters(logN, levels)
+	kg := ckks.NewKeyGenerator(params, 1)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rlk := kg.GenRelinearizationKey(sk)
+	rtks := kg.GenRotationKeys(sk, rotations, false)
+	return &env{
+		params: params,
+		enc:    ckks.NewEncoder(params),
+		encr:   ckks.NewEncryptor(params, pk, 2),
+		decr:   ckks.NewDecryptor(params, sk),
+		eval:   ckks.NewEvaluator(params, rlk, rtks),
+	}
+}
+
+func (e *env) encryptSeq(scale float64) *ckks.Ciphertext {
+	vals := make([]complex128, e.params.Slots())
+	for i := range vals {
+		vals[i] = complex(math.Sin(float64(i)/3), 0)
+	}
+	pt, _ := e.enc.EncodeAtLevel(vals, scale, e.params.MaxLevel())
+	return e.encr.Encrypt(pt)
+}
+
+func maxSlotErr(a, b []complex128) float64 {
+	m := 0.0
+	for i := range a {
+		if e := cmplx.Abs(a[i] - b[i]); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+func TestDistributedConvMatchesSingleCard(t *testing.T) {
+	const cards = 4
+	rotations := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	e := newEnv(t, 8, 3, rotations)
+	ct := e.encryptSeq(e.params.DefaultScale())
+
+	layer := ConvLayer{Rotations: rotations}
+	for k := range rotations {
+		w := make([]complex128, e.params.Slots())
+		for i := range w {
+			w[i] = complex(0.1*float64(k+1), 0)
+		}
+		pt, err := e.enc.EncodeAtLevel(w, e.params.DefaultScale(), ct.Level())
+		if err != nil {
+			t.Fatal(err)
+		}
+		layer.Weights = append(layer.Weights, pt)
+	}
+
+	progs, err := BuildConv(cards, layer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := New(e.params, e.eval, cards)
+	for c := 0; c < cards; c++ {
+		cl.Load(c, "x", ct)
+	}
+	if err := cl.Run(progs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every card must hold every kernel output, identical to the
+	// single-card computation.
+	for k := range rotations {
+		single := e.eval.Rescale(e.eval.MulPlain(e.eval.Rotate(ct, rotations[k]), layer.Weights[k]))
+		want := e.enc.Decode(e.decr.Decrypt(single))
+		name := "out" + string(rune('0'+k))
+		for c := 0; c < cards; c++ {
+			got, err := cl.Get(c, name)
+			if err != nil {
+				t.Fatalf("card %d: %v", c, err)
+			}
+			dec := e.enc.Decode(e.decr.Decrypt(got))
+			if err := maxSlotErr(dec, want); err > 1e-5 {
+				t.Fatalf("card %d kernel %d: error %g", c, k, err)
+			}
+		}
+	}
+}
+
+func TestDistributedMatVecMatchesPlain(t *testing.T) {
+	const cards = 4
+	const bs = 4
+	e := newEnv(t, 7, 3, allRots(1<<6))
+	dim := e.params.Slots()
+	gs := dim / bs
+
+	// Random-ish dense matrix in diagonal form with BSGS pre-rotation.
+	matrix := make([][]complex128, dim)
+	for r := range matrix {
+		matrix[r] = make([]complex128, dim)
+		for c := range matrix[r] {
+			matrix[r][c] = complex(math.Cos(float64(r*dim+c))/8, 0)
+		}
+	}
+	ct := e.encryptSeq(e.params.DefaultScale())
+	vals := e.enc.Decode(e.decr.Decrypt(ct))
+	want := make([]complex128, dim)
+	for r := 0; r < dim; r++ {
+		for c := 0; c < dim; c++ {
+			want[r] += matrix[r][c] * vals[c]
+		}
+	}
+
+	diags := make([][]*ckks.Plaintext, gs)
+	for g := 0; g < gs; g++ {
+		diags[g] = make([]*ckks.Plaintext, bs)
+		for j := 0; j < bs; j++ {
+			d := g*bs + j
+			diag := make([]complex128, dim)
+			for t0 := 0; t0 < dim; t0++ {
+				diag[t0] = matrix[t0][(t0+d)%dim]
+			}
+			// Pre-rotate right by g·bs, as EvaluateBSGS does.
+			shifted := make([]complex128, dim)
+			for t0 := 0; t0 < dim; t0++ {
+				shifted[t0] = diag[(t0+dim-(g*bs)%dim)%dim]
+			}
+			pt, err := e.enc.EncodeAtLevel(shifted, e.params.DefaultScale(), ct.Level())
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags[g][j] = pt
+		}
+	}
+
+	progs, err := BuildMatVec(cards, bs, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := New(e.params, e.eval, cards)
+	for c := 0; c < cards; c++ {
+		cl.Load(c, "x", ct)
+	}
+	if err := cl.Run(progs); err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < cards; c++ {
+		y, err := cl.Get(c, "y")
+		if err != nil {
+			t.Fatalf("card %d: %v", c, err)
+		}
+		got := e.enc.Decode(e.decr.Decrypt(y))
+		if errv := maxSlotErr(got, want); errv > 1e-2 {
+			t.Fatalf("card %d: matvec error %g", c, errv)
+		}
+	}
+}
+
+func allRots(dim int) []int {
+	out := make([]int, 0, dim)
+	for d := 1; d < dim; d++ {
+		out = append(out, d)
+	}
+	return out
+}
+
+func TestClusterErrors(t *testing.T) {
+	e := newEnv(t, 6, 2, []int{1})
+	cl := New(e.params, e.eval, 2)
+	// Undefined register.
+	err := cl.Run([][]Instr{{{Op: OpRotate, Dst: "y", Src1: "missing", Imm: 1}}, nil})
+	if err == nil {
+		t.Fatal("expected undefined-register error")
+	}
+	// Bad peer.
+	cl2 := New(e.params, e.eval, 2)
+	ct := e.encryptSeq(e.params.DefaultScale())
+	cl2.Load(0, "x", ct)
+	err = cl2.Run([][]Instr{{{Op: OpSend, Src1: "x", Peer: 5, Tag: 1}}, nil})
+	if err == nil {
+		t.Fatal("expected bad-peer error")
+	}
+	// Program count mismatch.
+	if err := cl.Run([][]Instr{nil}); err == nil {
+		t.Fatal("expected program-count error")
+	}
+	// Get on missing register.
+	if _, err := cl.Get(0, "nope"); err == nil {
+		t.Fatal("expected missing-register error")
+	}
+}
+
+func TestOutOfOrderTagsAreBuffered(t *testing.T) {
+	e := newEnv(t, 6, 2, []int{1})
+	cl := New(e.params, e.eval, 2)
+	ct := e.encryptSeq(e.params.DefaultScale())
+	cl.Load(0, "a", ct)
+	cl.Load(0, "b", ct)
+	// Card 0 sends tag 2 then tag 1; card 1 receives tag 1 first.
+	progs := [][]Instr{
+		{
+			{Op: OpSend, Src1: "a", Peer: 1, Tag: 2},
+			{Op: OpSend, Src1: "b", Peer: 1, Tag: 1},
+		},
+		{
+			{Op: OpRecv, Dst: "first", Tag: 1},
+			{Op: OpRecv, Dst: "second", Tag: 2},
+		},
+	}
+	if err := cl.Run(progs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Get(1, "first"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Get(1, "second"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolySplitMatchesSingleCard(t *testing.T) {
+	// The paper's EvaExp two-subtree split (Fig. 3(a)): degree-7 polynomial,
+	// lo on card 0, hi·x^4 on card 1.
+	e := newEnv(t, 7, 10, nil)
+	coeffs := []float64{0.3, -0.5, 0.2, 0.1, -0.15, 0.05, 0.12, -0.07}
+	progs, err := BuildPolySplit(coeffs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Input values in [-1, 1].
+	vals := make([]complex128, e.params.Slots())
+	for i := range vals {
+		vals[i] = complex(float64(i%13)/13-0.5, 0)
+	}
+	pt, _ := e.enc.Encode(vals)
+	ct := e.encr.Encrypt(pt)
+	cl := New(e.params, e.eval, 2)
+	cl.Load(0, "x", ct)
+	cl.Load(1, "x", ct)
+	if err := cl.Run(progs); err != nil {
+		t.Fatal(err)
+	}
+	y, err := cl.Get(0, "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.enc.Decode(e.decr.Decrypt(y))
+	for i := range vals {
+		x := real(vals[i])
+		want := 0.0
+		for j := len(coeffs) - 1; j >= 0; j-- {
+			want = want*x + coeffs[j]
+		}
+		if diff := real(got[i]) - want; diff > 1e-2 || diff < -1e-2 {
+			t.Fatalf("slot %d: got %g want %g", i, real(got[i]), want)
+		}
+	}
+}
+
+func TestPolySplitValidation(t *testing.T) {
+	if _, err := BuildPolySplit([]float64{1, 2, 3}, 3); err == nil {
+		t.Fatal("expected power-of-two split error")
+	}
+	if _, err := BuildPolySplit([]float64{1, 2, 3}, 4); err == nil {
+		t.Fatal("expected degree-range error")
+	}
+}

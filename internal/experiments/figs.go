@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hydra/internal/model"
+)
+
+// ---------------------------------------------------------------------------
+// Fig. 6 — key-procedure speedups normalized to Hydra-S.
+// ---------------------------------------------------------------------------
+
+// Fig6Series holds per-procedure speedups of one benchmark.
+type Fig6Series struct {
+	Benchmark string
+	Labels    []string
+	SpeedupM  map[string]float64
+	SpeedupL  map[string]float64
+	TotalM    float64
+	TotalL    float64
+}
+
+// Fig6 measures the per-procedure speedup of Hydra-M and Hydra-L over
+// Hydra-S for every benchmark.
+func Fig6() ([]Fig6Series, error) {
+	var out []Fig6Series
+	for _, net := range model.Benchmarks() {
+		base, err := HydraS().Run(net)
+		if err != nil {
+			return nil, err
+		}
+		m, err := HydraM().Run(net)
+		if err != nil {
+			return nil, err
+		}
+		l, err := HydraL().Run(net)
+		if err != nil {
+			return nil, err
+		}
+		bs, ms, ls := base.StepSpanByName(), m.StepSpanByName(), l.StepSpanByName()
+		s := Fig6Series{
+			Benchmark: net.Name,
+			Labels:    net.Labels(),
+			SpeedupM:  map[string]float64{},
+			SpeedupL:  map[string]float64{},
+			TotalM:    base.Makespan / m.Makespan,
+			TotalL:    base.Makespan / l.Makespan,
+		}
+		for _, lab := range s.Labels {
+			s.SpeedupM[lab] = bs[lab] / ms[lab]
+			s.SpeedupL[lab] = bs[lab] / ls[lab]
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// FormatFig6 renders the speedup series.
+func FormatFig6(series []Fig6Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 6: key-procedure speedup normalized to Hydra-S\n")
+	for _, s := range series {
+		fmt.Fprintf(&b, "%s (total: M %.2fx, L %.2fx)\n", s.Benchmark, s.TotalM, s.TotalL)
+		for _, lab := range s.Labels {
+			fmt.Fprintf(&b, "  %-10s M %6.2fx   L %6.2fx\n", lab, s.SpeedupM[lab], s.SpeedupL[lab])
+		}
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 7 — full-system energy consumption and breakdown.
+// ---------------------------------------------------------------------------
+
+// Fig7Entry is the energy breakdown of one benchmark on one prototype.
+type Fig7Entry struct {
+	Benchmark string
+	Prototype string
+	TotalJ    float64
+	Breakdown map[string]float64 // unit -> Joules
+}
+
+// Fig7 measures the energy breakdown (NTT/MA/MM/Auto/HBM/Comm/Static) of
+// every benchmark on the three Hydra prototypes.
+func Fig7() ([]Fig7Entry, error) {
+	var out []Fig7Entry
+	for _, net := range model.Benchmarks() {
+		for _, p := range []Prototype{HydraS(), HydraM(), HydraL()} {
+			r, err := p.Run(net)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Fig7Entry{
+				Benchmark: net.Name,
+				Prototype: p.Name,
+				TotalJ:    r.TotalEnergy(),
+				Breakdown: r.EnergyByUnit,
+			})
+		}
+	}
+	return out, nil
+}
+
+// EnergyUnits lists the Fig. 7 stack components in display order.
+var EnergyUnits = []string{"NTT", "MM", "MA", "Auto", "HBM", "Comm", "Static"}
+
+// FormatFig7 renders the breakdown as percentage stacks.
+func FormatFig7(entries []Fig7Entry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 7: full-system energy breakdown (%% of total)\n")
+	fmt.Fprintf(&b, "%-10s %-9s %10s", "Benchmark", "Proto", "Total(kJ)")
+	for _, u := range EnergyUnits {
+		fmt.Fprintf(&b, " %7s", u)
+	}
+	b.WriteByte('\n')
+	for _, e := range entries {
+		fmt.Fprintf(&b, "%-10s %-9s %10.1f", e.Benchmark, e.Prototype, e.TotalJ/1e3)
+		for _, u := range EnergyUnits {
+			fmt.Fprintf(&b, " %6.1f%%", 100*e.Breakdown[u]/e.TotalJ)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 8 — scalability comparison (comm vs compute, Hydra vs FAB).
+// ---------------------------------------------------------------------------
+
+// Fig8Entry is the comm/compute split of one benchmark on one machine,
+// overall and per procedure, normalized to the FAB machine of the same size.
+type Fig8Entry struct {
+	Benchmark  string
+	Prototype  string
+	Compute    float64 // busiest-card compute seconds (unscaled)
+	Exposed    float64 // communication time not hidden (unscaled)
+	PerLabel   map[string][2]float64
+	LabelOrder []string
+	RelToFAB   float64 // makespan normalized to FAB of the same scale
+}
+
+// Fig8 runs Hydra-M vs FAB-M and Hydra-L vs FAB-L on all benchmarks,
+// reporting computation and exposed-communication shares per procedure.
+func Fig8() ([]Fig8Entry, error) {
+	pairs := [][2]Prototype{{HydraM(), FABM()}, {HydraL(), FABL()}}
+	var out []Fig8Entry
+	for _, net := range model.Benchmarks() {
+		for _, pair := range pairs {
+			fabRes, err := pair[1].Run(net)
+			if err != nil {
+				return nil, err
+			}
+			for pi, p := range pair {
+				r := fabRes
+				if pi == 0 {
+					if r, err = p.Run(net); err != nil {
+						return nil, err
+					}
+				}
+				e := Fig8Entry{
+					Benchmark:  net.Name,
+					Prototype:  p.Name,
+					Compute:    r.MaxComputeBusy(),
+					Exposed:    r.ExposedComm(),
+					PerLabel:   map[string][2]float64{},
+					LabelOrder: net.Labels(),
+					RelToFAB:   r.Makespan / fabRes.Makespan,
+				}
+				for _, st := range r.Steps {
+					v := e.PerLabel[st.Name]
+					v[0] += st.ComputeMax
+					v[1] += st.Exposed()
+					e.PerLabel[st.Name] = v
+				}
+				out = append(out, e)
+			}
+		}
+	}
+	return out, nil
+}
+
+// FormatFig8 renders the comparison.
+func FormatFig8(entries []Fig8Entry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 8: computation vs exposed communication, Hydra vs FAB\n")
+	for _, e := range entries {
+		total := e.Compute + e.Exposed
+		fmt.Fprintf(&b, "%-10s %-8s rel-to-FAB %5.2f  comm %5.1f%%  [", e.Benchmark, e.Prototype, e.RelToFAB, 100*e.Exposed/total)
+		for i, lab := range e.LabelOrder {
+			v := e.PerLabel[lab]
+			share := 0.0
+			if v[0]+v[1] > 0 {
+				share = 100 * v[1] / (v[0] + v[1])
+			}
+			if i > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "%s %.1f%%", lab, share)
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 9 — scalability analysis.
+// ---------------------------------------------------------------------------
+
+// Fig9Sweep holds speedup-vs-cards curves per procedure for one benchmark
+// (Fig. 9(a)(b)) and the comm-share curve (Fig. 9(c)).
+type Fig9Sweep struct {
+	Benchmark string
+	Cards     []int
+	Speedup   map[string][]float64 // label -> speedup per card count
+	Total     []float64
+	CommShare []float64
+}
+
+// DefaultSweepCards is the card axis of Fig. 9.
+var DefaultSweepCards = []int{1, 2, 4, 8, 16, 32, 64}
+
+// Fig9 sweeps card counts for the given benchmark.
+func Fig9(net model.Network, cards []int) (*Fig9Sweep, error) {
+	if len(cards) == 0 {
+		cards = DefaultSweepCards
+	}
+	sweep := &Fig9Sweep{Benchmark: net.Name, Cards: cards, Speedup: map[string][]float64{}}
+	var baseSpans map[string]float64
+	var baseTotal float64
+	for i, n := range cards {
+		r, err := HydraN(n).Run(net)
+		if err != nil {
+			return nil, err
+		}
+		spans := r.StepSpanByName()
+		if i == 0 {
+			baseSpans, baseTotal = spans, r.Makespan
+		}
+		for _, lab := range net.Labels() {
+			sweep.Speedup[lab] = append(sweep.Speedup[lab], baseSpans[lab]/spans[lab])
+		}
+		sweep.Total = append(sweep.Total, baseTotal/r.Makespan)
+		sweep.CommShare = append(sweep.CommShare, r.CommShare())
+	}
+	return sweep, nil
+}
+
+// FormatFig9 renders one sweep.
+func FormatFig9(s *Fig9Sweep) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 9: scalability of %s\n", s.Benchmark)
+	fmt.Fprintf(&b, "%-12s", "cards")
+	for _, c := range s.Cards {
+		fmt.Fprintf(&b, " %8d", c)
+	}
+	b.WriteByte('\n')
+	var labels []string
+	for lab := range s.Speedup {
+		labels = append(labels, lab)
+	}
+	sort.Strings(labels)
+	for _, lab := range labels {
+		fmt.Fprintf(&b, "%-12s", lab)
+		for _, v := range s.Speedup[lab] {
+			fmt.Fprintf(&b, " %7.2fx", v)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-12s", "total")
+	for _, v := range s.Total {
+		fmt.Fprintf(&b, " %7.2fx", v)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-12s", "comm share")
+	for _, v := range s.CommShare {
+		fmt.Fprintf(&b, " %7.2f%%", 100*v)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,177 @@
+// Package hefloat provides homomorphic linear algebra and polynomial
+// evaluation on top of the ckks package: plaintext-matrix × ciphertext-vector
+// products in diagonal form (naive and Baby-Step Giant-Step), and polynomial
+// evaluation in Horner and power-tree form.
+//
+// These are the client-side counterparts of the computations Hydra schedules
+// across cards (FC layers, the DFT matrices inside bootstrapping, and the
+// Chebyshev/Taylor polynomials of non-linear layers), and they validate the
+// FHE-operation counts the performance model charges for those procedures.
+package hefloat
+
+import (
+	"fmt"
+
+	"hydra/internal/ckks"
+)
+
+// LinearTransform is a plaintext square matrix held in diagonal form:
+// Diags[d][j] = M[j][(j+d) mod dim]. Only non-zero diagonals are stored.
+type LinearTransform struct {
+	Dim   int
+	Diags map[int][]complex128
+}
+
+// NewLinearTransform converts a dense dim×dim matrix to diagonal form,
+// dropping all-zero diagonals.
+func NewLinearTransform(m [][]complex128) (*LinearTransform, error) {
+	dim := len(m)
+	if dim == 0 {
+		return nil, fmt.Errorf("hefloat: empty matrix")
+	}
+	for _, row := range m {
+		if len(row) != dim {
+			return nil, fmt.Errorf("hefloat: matrix is not square")
+		}
+	}
+	lt := &LinearTransform{Dim: dim, Diags: map[int][]complex128{}}
+	for d := 0; d < dim; d++ {
+		diag := make([]complex128, dim)
+		nonZero := false
+		for j := 0; j < dim; j++ {
+			diag[j] = m[j][(j+d)%dim]
+			if diag[j] != 0 {
+				nonZero = true
+			}
+		}
+		if nonZero {
+			lt.Diags[d] = diag
+		}
+	}
+	return lt, nil
+}
+
+// Rotations returns the rotation indices needed by the naive evaluation.
+func (lt *LinearTransform) Rotations() []int {
+	rots := make([]int, 0, len(lt.Diags))
+	for d := range lt.Diags {
+		if d != 0 {
+			rots = append(rots, d)
+		}
+	}
+	return rots
+}
+
+// RotationsBSGS returns the rotation indices needed by EvaluateBSGS with the
+// given baby-step count.
+func (lt *LinearTransform) RotationsBSGS(bs int) []int {
+	set := map[int]bool{}
+	for d := range lt.Diags {
+		j := d % bs
+		g := d - j
+		if j != 0 {
+			set[j] = true
+		}
+		if g != 0 {
+			set[g] = true
+		}
+	}
+	rots := make([]int, 0, len(set))
+	for r := range set {
+		rots = append(rots, r)
+	}
+	return rots
+}
+
+// Evaluate applies the transform naively: one rotation and one plaintext
+// multiplication per non-zero diagonal (the upper path of Fig. 3(d) in the
+// paper). The vector occupies the first Dim slots, repeated so rotations
+// wrap correctly (Dim must divide the slot count and the caller must have
+// replicated the vector; for Dim == slots no replication is needed).
+func (lt *LinearTransform) Evaluate(eval *ckks.Evaluator, enc *ckks.Encoder, ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+	var acc *ckks.Ciphertext
+	for d, diag := range lt.Diags {
+		rotated := eval.Rotate(ct, d)
+		pt, err := enc.EncodeAtLevel(diag, eval.Params().DefaultScale(), rotated.Level())
+		if err != nil {
+			return nil, err
+		}
+		term := eval.MulPlain(rotated, pt)
+		if acc == nil {
+			acc = term
+		} else {
+			acc = eval.Add(acc, term)
+		}
+	}
+	if acc == nil {
+		return nil, fmt.Errorf("hefloat: transform has no non-zero diagonals")
+	}
+	return eval.Rescale(acc), nil
+}
+
+// EvaluateBSGS applies the transform with the Baby-Step Giant-Step algorithm:
+// bs baby rotations of the input are shared across all giant steps, reducing
+// rotations from |Diags| to roughly bs + |Diags|/bs (Section III-B of the
+// paper; giant-step results are rotated once after accumulation).
+func (lt *LinearTransform) EvaluateBSGS(eval *ckks.Evaluator, enc *ckks.Encoder, ct *ckks.Ciphertext, bs int) (*ckks.Ciphertext, error) {
+	if bs <= 0 {
+		return nil, fmt.Errorf("hefloat: baby-step count must be positive, got %d", bs)
+	}
+	// Group diagonals by giant step g = d - d%bs.
+	groups := map[int][]int{}
+	for d := range lt.Diags {
+		g := d - d%bs
+		groups[g] = append(groups[g], d)
+	}
+	// Baby steps: all needed rotations of the input, computed with a single
+	// hoisted decomposition (the digit decomposition is shared across the
+	// rotations, the optimization BSGS exists to exploit).
+	needed := map[int]bool{}
+	for d := range lt.Diags {
+		needed[d%bs] = true
+	}
+	var rotList []int
+	for j := range needed {
+		rotList = append(rotList, j)
+	}
+	baby := eval.RotateHoisted(ct, rotList)
+	babyOf := func(j int) *ckks.Ciphertext { return baby[j] }
+
+	var acc *ckks.Ciphertext
+	for g, ds := range groups {
+		// inner = Σ_j diag_{g+j} rotated by -g, times baby_j.
+		var inner *ckks.Ciphertext
+		for _, d := range ds {
+			j := d - g
+			diag := lt.Diags[d]
+			// Pre-rotate the diagonal right by g so the single giant-step
+			// rotation at the end lands it correctly.
+			shifted := make([]complex128, lt.Dim)
+			for t := 0; t < lt.Dim; t++ {
+				shifted[t] = diag[(t+lt.Dim-g%lt.Dim)%lt.Dim]
+			}
+			pt, err := enc.EncodeAtLevel(shifted, eval.Params().DefaultScale(), ct.Level())
+			if err != nil {
+				return nil, err
+			}
+			term := eval.MulPlain(babyOf(j), pt)
+			if inner == nil {
+				inner = term
+			} else {
+				inner = eval.Add(inner, term)
+			}
+		}
+		if g != 0 {
+			inner = eval.Rotate(inner, g)
+		}
+		if acc == nil {
+			acc = inner
+		} else {
+			acc = eval.Add(acc, inner)
+		}
+	}
+	if acc == nil {
+		return nil, fmt.Errorf("hefloat: transform has no non-zero diagonals")
+	}
+	return eval.Rescale(acc), nil
+}

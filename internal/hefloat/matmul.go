@@ -1,0 +1,245 @@
+package hefloat
+
+import (
+	"fmt"
+
+	"hydra/internal/ckks"
+)
+
+// Encrypted matrix multiplication in the style the paper's LLM benchmarks
+// use (Section III-A, following the non-interactive transformer inference
+// construction): a k×k matrix is packed column-major into the slots of one
+// ciphertext (column c occupies slots [c·k, (c+1)·k)), and
+//
+//   - PCMM (plaintext-ciphertext matrix multiplication) costs one rotation
+//     and one plaintext multiplication per column diagonal — the Table I
+//     recipe of 1 Rotation + 1 PMult per parallel unit;
+//   - CCMM (ciphertext-ciphertext) additionally extracts and replicates the
+//     scalar diagonals of the encrypted right operand, costing ~log2(k)
+//     rotations, two plaintext masks and one ciphertext multiplication per
+//     diagonal — matching Table I's rotation-heavy CCMM recipe.
+
+// PackMatrix encodes a k×k real matrix column-major into a plaintext; k²
+// must equal the slot count so column rotations wrap cyclically.
+func PackMatrix(enc *ckks.Encoder, m [][]float64, level int, scale float64) (*ckks.Plaintext, error) {
+	k := len(m)
+	slots := enc.Params().Slots()
+	if k*k != slots {
+		return nil, fmt.Errorf("hefloat: matrix size %d² must equal slot count %d", k, slots)
+	}
+	vals := make([]complex128, slots)
+	for c := 0; c < k; c++ {
+		for r := 0; r < k; r++ {
+			vals[c*k+r] = complex(m[r][c], 0)
+		}
+	}
+	return enc.EncodeAtLevel(vals, scale, level)
+}
+
+// UnpackMatrix decodes a column-major packed k×k matrix.
+func UnpackMatrix(enc *ckks.Encoder, pt *ckks.Plaintext, k int) [][]float64 {
+	vals := enc.Decode(pt)
+	m := make([][]float64, k)
+	for r := range m {
+		m[r] = make([]float64, k)
+	}
+	for c := 0; c < k; c++ {
+		for r := 0; r < k; r++ {
+			m[r][c] = real(vals[c*k+r])
+		}
+	}
+	return m
+}
+
+// PCMMRotations returns the rotation indices PCMM needs for k×k matrices.
+func PCMMRotations(k int) []int {
+	rots := make([]int, 0, k-1)
+	for d := 1; d < k; d++ {
+		rots = append(rots, d*k)
+	}
+	return rots
+}
+
+// PCMM computes Y = X·W for an encrypted column-packed X and a plaintext W:
+// column c of the product is Σ_d W[(c+d) mod k][c] · X[:,(c+d) mod k], so
+// each diagonal d contributes one column rotation of X (by d·k slots) and
+// one multiplication with the plaintext mask carrying the matching W
+// entries.
+func PCMM(eval *ckks.Evaluator, enc *ckks.Encoder, ctX *ckks.Ciphertext, w [][]float64) (*ckks.Ciphertext, error) {
+	k := len(w)
+	slots := eval.Params().Slots()
+	if k*k != slots {
+		return nil, fmt.Errorf("hefloat: matrix size %d² must equal slot count %d", k, slots)
+	}
+	scale := eval.Params().DefaultScale()
+	var acc *ckks.Ciphertext
+	for d := 0; d < k; d++ {
+		mask := make([]complex128, slots)
+		for c := 0; c < k; c++ {
+			wv := complex(w[(c+d)%k][c], 0)
+			for r := 0; r < k; r++ {
+				mask[c*k+r] = wv
+			}
+		}
+		pt, err := enc.EncodeAtLevel(mask, scale, ctX.Level())
+		if err != nil {
+			return nil, err
+		}
+		rotated := ctX
+		if d != 0 {
+			rotated = eval.Rotate(ctX, d*k)
+		}
+		term := eval.MulPlain(rotated, pt)
+		if acc == nil {
+			acc = term
+		} else {
+			acc = eval.Add(acc, term)
+		}
+	}
+	return eval.Rescale(acc), nil
+}
+
+// CCMMRotations returns the rotation indices CCMM needs for k×k matrices:
+// the σ/τ pre-transforms may touch any diagonal, and the per-iteration
+// shifts (d·k, d and d-k mod k²) all fall in the same range.
+func CCMMRotations(k int) []int {
+	rots := make([]int, 0, k*k-1)
+	for d := 1; d < k*k; d++ {
+		rots = append(rots, d)
+	}
+	return rots
+}
+
+// ccmmSigma builds the σ pre-transform of the E2DM-style matrix product:
+// σ(A)[r][c] = A[r][(r+c) mod k], as a dense permutation over the
+// column-major packing.
+func ccmmSigma(k int) [][]complex128 {
+	n := k * k
+	m := make([][]complex128, n)
+	for i := range m {
+		m[i] = make([]complex128, n)
+	}
+	for c := 0; c < k; c++ {
+		for r := 0; r < k; r++ {
+			out := c*k + r
+			in := ((r+c)%k)*k + r
+			m[out][in] = 1
+		}
+	}
+	return m
+}
+
+// ccmmTau builds the τ pre-transform: τ(B)[r][c] = B[(r+c) mod k][c].
+func ccmmTau(k int) [][]complex128 {
+	n := k * k
+	m := make([][]complex128, n)
+	for i := range m {
+		m[i] = make([]complex128, n)
+	}
+	for c := 0; c < k; c++ {
+		for r := 0; r < k; r++ {
+			out := c*k + r
+			in := c*k + (r+c)%k
+			m[out][in] = 1
+		}
+	}
+	return m
+}
+
+// CCMM computes Y = X·Z for two encrypted column-packed k×k matrices with
+// the E2DM-style algorithm the paper's CCMM recipe reflects: two one-time
+// diagonal pre-transforms σ(X) and τ(Z), then k iterations, each combining a
+// clean column rotation of σ(X) with a masked in-column row shift of τ(Z)
+// and one ciphertext-ciphertext multiplication:
+//
+//	Y = Σ_d φ_d(σ(X)) ⊙ ψ_d(τ(Z)),
+//	φ_d: column shift by d (one rotation), ψ_d: row shift by d (two masked
+//	rotations), so each unit is rotation-heavy with a single CMult, matching
+//	Table I's CCMM row.
+func CCMM(eval *ckks.Evaluator, enc *ckks.Encoder, ctX, ctZ *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+	slots := eval.Params().Slots()
+	k := 1
+	for k*k < slots {
+		k++
+	}
+	if k*k != slots {
+		return nil, fmt.Errorf("hefloat: slot count %d is not a perfect square", slots)
+	}
+	scale := eval.Params().DefaultScale()
+
+	sigma, err := NewLinearTransform(ccmmSigma(k))
+	if err != nil {
+		return nil, err
+	}
+	tau, err := NewLinearTransform(ccmmTau(k))
+	if err != nil {
+		return nil, err
+	}
+	a, err := sigma.Evaluate(eval, enc, ctX)
+	if err != nil {
+		return nil, err
+	}
+	b, err := tau.Evaluate(eval, enc, ctZ)
+	if err != nil {
+		return nil, err
+	}
+
+	var acc *ckks.Ciphertext
+	for d := 0; d < k; d++ {
+		// φ_d: shift the columns of a left by d (clean slot rotation).
+		ad := a
+		if d != 0 {
+			ad = eval.Rotate(a, d*k)
+		}
+		// ψ_d: shift the rows of b up by d within each column: slots with
+		// row index r < k-d come from rotation d, the wrap-around rows from
+		// rotation d-k; two masks select the pieces.
+		var bd *ckks.Ciphertext
+		if d == 0 {
+			bd = b.CopyNew()
+			one := make([]complex128, slots)
+			for i := range one {
+				one[i] = 1
+			}
+			pt, err := enc.EncodeAtLevel(one, scale, bd.Level())
+			if err != nil {
+				return nil, err
+			}
+			bd = eval.Rescale(eval.MulPlain(bd, pt))
+		} else {
+			maskMain := make([]complex128, slots)
+			maskWrap := make([]complex128, slots)
+			for c := 0; c < k; c++ {
+				for r := 0; r < k; r++ {
+					if r < k-d {
+						maskMain[c*k+r] = 1
+					} else {
+						maskWrap[c*k+r] = 1
+					}
+				}
+			}
+			ptMain, err := enc.EncodeAtLevel(maskMain, scale, b.Level())
+			if err != nil {
+				return nil, err
+			}
+			ptWrap, err := enc.EncodeAtLevel(maskWrap, scale, b.Level())
+			if err != nil {
+				return nil, err
+			}
+			main := eval.MulPlain(eval.Rotate(b, d), ptMain)
+			wrap := eval.MulPlain(eval.Rotate(b, d-k), ptWrap)
+			bd = eval.Rescale(eval.Add(main, wrap))
+		}
+		aligned := ad.CopyNew()
+		if aligned.Level() > bd.Level() {
+			aligned.DropLevel(aligned.Level() - bd.Level())
+		}
+		term := eval.MulRelin(aligned, bd)
+		if acc == nil {
+			acc = term
+		} else {
+			acc = eval.Add(acc, term)
+		}
+	}
+	return eval.Rescale(acc), nil
+}

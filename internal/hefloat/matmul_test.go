@@ -1,0 +1,174 @@
+package hefloat
+
+import (
+	"math"
+	"testing"
+)
+
+func matK(env *testEnv) int {
+	k := 1
+	for k*k < env.params.Slots() {
+		k++
+	}
+	return k
+}
+
+func seqRealMatrix(k int, seed float64) [][]float64 {
+	m := make([][]float64, k)
+	for r := range m {
+		m[r] = make([]float64, k)
+		for c := range m[r] {
+			m[r][c] = math.Sin(seed + float64(r*k+c))
+		}
+	}
+	return m
+}
+
+func matMulPlain(a, b [][]float64) [][]float64 {
+	k := len(a)
+	out := make([][]float64, k)
+	for r := range out {
+		out[r] = make([]float64, k)
+		for c := 0; c < k; c++ {
+			for j := 0; j < k; j++ {
+				out[r][c] += a[r][j] * b[j][c]
+			}
+		}
+	}
+	return out
+}
+
+func maxMatErr(got, want [][]float64) float64 {
+	m := 0.0
+	for r := range want {
+		for c := range want[r] {
+			if e := math.Abs(got[r][c] - want[r][c]); e > m {
+				m = e
+			}
+		}
+	}
+	return m
+}
+
+func TestPackUnpackMatrix(t *testing.T) {
+	env := newEnv(t, 5, 2, nil) // slots 16 → k = 4
+	k := matK(env)
+	m := seqRealMatrix(k, 0.3)
+	pt, err := PackMatrix(env.enc, m, env.params.MaxLevel(), env.params.DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := UnpackMatrix(env.enc, pt, k)
+	if e := maxMatErr(back, m); e > 1e-8 {
+		t.Fatalf("pack/unpack error %g", e)
+	}
+}
+
+func TestPackMatrixRejectsWrongSize(t *testing.T) {
+	env := newEnv(t, 5, 2, nil)
+	if _, err := PackMatrix(env.enc, seqRealMatrix(3, 0), env.params.MaxLevel(), 1<<45); err == nil {
+		t.Fatal("expected size error")
+	}
+}
+
+func TestPCMM(t *testing.T) {
+	env := newEnv(t, 5, 3, PCMMRotations(4))
+	k := matK(env)
+	x := seqRealMatrix(k, 0.1)
+	w := seqRealMatrix(k, 1.7)
+	pt, err := PackMatrix(env.enc, x, env.params.MaxLevel(), env.params.DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := env.encr.Encrypt(pt)
+	res, err := PCMM(env.eval, env.enc, ct, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := UnpackMatrix(env.enc, env.decr.Decrypt(res), k)
+	want := matMulPlain(x, w)
+	if e := maxMatErr(got, want); e > 1e-3 {
+		t.Fatalf("PCMM error %g", e)
+	}
+}
+
+func TestPCMMRotationBudget(t *testing.T) {
+	// One rotation per diagonal (Table I: 1 Rotation, 1 PMult per unit).
+	if got := len(PCMMRotations(8)); got != 7 {
+		t.Fatalf("PCMM needs %d rotations for k=8, want 7", got)
+	}
+}
+
+func TestCCMM(t *testing.T) {
+	k := 4
+	env := newEnv(t, 5, 6, CCMMRotations(k))
+	x := seqRealMatrix(k, 0.4)
+	z := seqRealMatrix(k, 2.9)
+	ptX, err := PackMatrix(env.enc, x, env.params.MaxLevel(), env.params.DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptZ, err := PackMatrix(env.enc, z, env.params.MaxLevel(), env.params.DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctX := env.encr.Encrypt(ptX)
+	ctZ := env.encr.Encrypt(ptZ)
+	res, err := CCMM(env.eval, env.enc, ctX, ctZ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := UnpackMatrix(env.enc, env.decr.Decrypt(res), k)
+	want := matMulPlain(x, z)
+	if e := maxMatErr(got, want); e > 1e-2 {
+		t.Fatalf("CCMM error %g", e)
+	}
+}
+
+func TestCCMMThenPCMMChain(t *testing.T) {
+	// (X·Z)·W — a CCMM feeding a PCMM, as in an attention block.
+	k := 4
+	env := newEnv(t, 5, 8, CCMMRotations(k))
+	x := seqRealMatrix(k, 0.2)
+	z := seqRealMatrix(k, 1.1)
+	w := seqRealMatrix(k, 2.2)
+	ptX, _ := PackMatrix(env.enc, x, env.params.MaxLevel(), env.params.DefaultScale())
+	ptZ, _ := PackMatrix(env.enc, z, env.params.MaxLevel(), env.params.DefaultScale())
+	ctX := env.encr.Encrypt(ptX)
+	ctZ := env.encr.Encrypt(ptZ)
+	xz, err := CCMM(env.eval, env.enc, ctX, ctZ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PCMM(env.eval, env.enc, xz, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := UnpackMatrix(env.enc, env.decr.Decrypt(res), k)
+	want := matMulPlain(matMulPlain(x, z), w)
+	if e := maxMatErr(got, want); e > 5e-2 {
+		t.Fatalf("chained matmul error %g", e)
+	}
+}
+
+func TestSigmaTauPermutations(t *testing.T) {
+	k := 4
+	sig := ccmmSigma(k)
+	tau := ccmmTau(k)
+	// Each row of a permutation matrix has exactly one 1.
+	for _, m := range [][][]complex128{sig, tau} {
+		for r := range m {
+			ones := 0
+			for c := range m[r] {
+				if m[r][c] == 1 {
+					ones++
+				} else if m[r][c] != 0 {
+					t.Fatal("non-binary entry")
+				}
+			}
+			if ones != 1 {
+				t.Fatalf("row %d has %d ones", r, ones)
+			}
+		}
+	}
+}

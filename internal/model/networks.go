@@ -1,0 +1,159 @@
+package model
+
+// The four benchmarks of Section V-A. Layer parallelism, packed-ciphertext
+// counts and bootstrap placements follow Table I and the implementations the
+// paper builds on: multiplexed-packing CNNs (Lee et al.) for the ResNets and
+// the non-interactive transformer inference of NEXUS for BERT/OPT. Exact
+// per-layer unit counts inside the Table I ranges are reconstructed (the
+// paper gives only the ranges); EXPERIMENTS.md records the resulting
+// benchmark totals next to the paper's.
+
+// ResNet18 is ResNet-18 on ImageNet 224×224 (2 input ciphertexts): conv1,
+// eight 2-conv basic blocks, average pooling and the FC classifier, with a
+// ReLU after every convolution and bootstrapping after each block.
+func ResNet18() Network {
+	n := Network{Name: "ResNet-18"}
+	add := func(p Procedure) { n.Procedures = append(n.Procedures, p) }
+
+	// Stage parameters: channels grow 64→512 while the packed activation
+	// ciphertext count shrinks 32→4 (Table I: 1/32).
+	type stage struct {
+		blocks, units, cts, relu int
+	}
+	stages := []stage{
+		{2, 512, 32, 128},
+		{2, 640, 16, 64},
+		{2, 768, 8, 32},
+		{2, 1024, 4, 16},
+	}
+	// conv1 + ReLU + pool-like downsample.
+	add(Procedure{Label: "ConvBN", Kind: ConvBN, Units: 384, OutputCts: 32})
+	add(Procedure{Label: "ReLU", Kind: NonLinear, Cts: 128, Degree: 15, OutputCts: 32})
+	add(Procedure{Label: "Pool", Kind: Pooling, Units: 64, OutputCts: 32})
+
+	for _, s := range stages {
+		for b := 0; b < s.blocks; b++ {
+			for conv := 0; conv < 2; conv++ {
+				add(Procedure{Label: "ConvBN", Kind: ConvBN, Units: s.units, OutputCts: s.cts})
+				add(Procedure{Label: "ReLU", Kind: NonLinear, Cts: s.relu, Degree: 15, OutputCts: s.cts})
+			}
+			add(Procedure{Label: "Boot", Kind: Bootstrap, Cts: s.cts})
+		}
+	}
+	add(Procedure{Label: "Pool", Kind: Pooling, Units: 6, OutputCts: 1})
+	add(Procedure{Label: "FC", Kind: FC, Units: 1511, OutputCts: 1})
+	return n
+}
+
+// ResNet50 is ResNet-50 on ImageNet: conv1 plus sixteen 3-conv bottleneck
+// blocks. The wider bottlenecks push per-layer parallelism far beyond
+// ResNet-18 ("384 to a staggering 16384", Section II-A) and the deeper
+// multiplication chain needs a bootstrap per block.
+func ResNet50() Network {
+	n := Network{Name: "ResNet-50"}
+	add := func(p Procedure) { n.Procedures = append(n.Procedures, p) }
+
+	type stage struct {
+		blocks, units1x1, units3x3, cts, relu int
+	}
+	stages := []stage{
+		{3, 2048, 4096, 32, 128},
+		{4, 3072, 6144, 16, 64},
+		{6, 5120, 10240, 8, 32},
+		{3, 4096, 16384, 4, 16},
+	}
+	add(Procedure{Label: "ConvBN", Kind: ConvBN, Units: 384, OutputCts: 32})
+	add(Procedure{Label: "ReLU", Kind: NonLinear, Cts: 128, Degree: 15, OutputCts: 32})
+	add(Procedure{Label: "Pool", Kind: Pooling, Units: 256, OutputCts: 32})
+
+	for _, s := range stages {
+		for b := 0; b < s.blocks; b++ {
+			// 1×1 reduce, 3×3, 1×1 expand.
+			add(Procedure{Label: "ConvBN", Kind: ConvBN, Units: s.units1x1, OutputCts: s.cts})
+			add(Procedure{Label: "ReLU", Kind: NonLinear, Cts: s.relu, Degree: 15, OutputCts: s.cts})
+			add(Procedure{Label: "ConvBN", Kind: ConvBN, Units: s.units3x3, OutputCts: s.cts})
+			add(Procedure{Label: "ReLU", Kind: NonLinear, Cts: s.relu, Degree: 15, OutputCts: s.cts})
+			add(Procedure{Label: "ConvBN", Kind: ConvBN, Units: s.units1x1, OutputCts: s.cts})
+			add(Procedure{Label: "ReLU", Kind: NonLinear, Cts: s.relu, Degree: 15, OutputCts: s.cts})
+			add(Procedure{Label: "Boot", Kind: Bootstrap, Cts: s.cts})
+			add(Procedure{Label: "Boot", Kind: Bootstrap, Cts: s.cts})
+		}
+	}
+	add(Procedure{Label: "Pool", Kind: Pooling, Units: 12, OutputCts: 1})
+	add(Procedure{Label: "FC", Kind: FC, Units: 3047, OutputCts: 1})
+	return n
+}
+
+// transformer builds an encoder-style FHE transformer benchmark: per layer,
+// the attention block (QKV/output PCMMs, score and value CCMMs, Softmax),
+// LayerNorms, the FFN (two fused PCMMs with a GeLU), and the bootstraps
+// that refresh the activations. limbs is the level the linear algebra runs
+// at (wider models accumulate directly below the bootstrapping level).
+func transformer(name string, layers, attPCMM, ffnPCMM, ccmmUnits, cts, nonlin, bootCts, limbs int) Network {
+	n := Network{Name: name}
+	add := func(p Procedure) { n.Procedures = append(n.Procedures, p) }
+	for l := 0; l < layers; l++ {
+		// Attention: QKV + output projections and the two CCMMs.
+		add(Procedure{Label: "Attention", Kind: PCMM, Units: attPCMM, OutputCts: cts, Limbs: limbs})
+		add(Procedure{Label: "Attention", Kind: CCMM, Units: ccmmUnits, OutputCts: cts, Limbs: limbs})
+		add(Procedure{Label: "Norm", Kind: NonLinear, Cts: nonlin, Degree: 15, OutputCts: cts}) // Softmax
+		add(Procedure{Label: "Attention", Kind: CCMM, Units: ccmmUnits, OutputCts: cts, Limbs: limbs})
+		add(Procedure{Label: "Norm", Kind: NonLinear, Cts: nonlin, Degree: 15, OutputCts: cts}) // LayerNorm
+		add(Procedure{Label: "Boot", Kind: Bootstrap, Cts: bootCts})
+		// FFN: expand and contract projections with GeLU between.
+		add(Procedure{Label: "FFN", Kind: PCMM, Units: ffnPCMM / 2, OutputCts: cts, Limbs: limbs})
+		add(Procedure{Label: "FFN", Kind: NonLinear, Cts: nonlin, Degree: 15, OutputCts: cts}) // GeLU
+		add(Procedure{Label: "FFN", Kind: PCMM, Units: ffnPCMM / 2, OutputCts: cts, Limbs: limbs})
+		add(Procedure{Label: "Norm", Kind: NonLinear, Cts: nonlin, Degree: 15, OutputCts: cts}) // LayerNorm
+		add(Procedure{Label: "Boot", Kind: Bootstrap, Cts: bootCts})
+	}
+	return n
+}
+
+// BERTBase is BERT-base with a 128×768 input sequence (one packed input
+// ciphertext): 12 encoder layers, ~114k PCMM units per layer and CCMM
+// parallelism 384 (Table I).
+func BERTBase() Network {
+	return transformer("BERT-base", 12, 49152, 65536, 384, 12, 48, 12, 0)
+}
+
+// OPT67B is OPT-6.7B with a 200×4096 input sequence (two packed input
+// ciphertexts): 32 layers, per-matrix PCMM parallelism up to 614,400 and
+// CCMM 1000 (Table I). The 4096-wide accumulations run directly below the
+// bootstrapping level (limb count 24).
+func OPT67B() Network {
+	return transformer("OPT-6.7B", 32, 614400, 614400, 1000, 18, 72, 18, 24)
+}
+
+// ResNet20 is the tailored CIFAR-10 model of the paper's Section II
+// motivation ("for the ResNet-20 for CIFAR-10 ... the most advanced practical
+// accelerators, Poseidon and FAB, achieve a performance of nearly 3
+// seconds"): 32x32 inputs pack into a single ciphertext, three stages of
+// three 2-conv blocks with 16-64 channels, and a handful of bootstraps.
+func ResNet20() Network {
+	n := Network{Name: "ResNet-20"}
+	add := func(p Procedure) { n.Procedures = append(n.Procedures, p) }
+	add(Procedure{Label: "ConvBN", Kind: ConvBN, Units: 16, OutputCts: 1})
+	add(Procedure{Label: "ReLU", Kind: NonLinear, Cts: 4, Degree: 15, OutputCts: 1})
+	type stage struct{ blocks, units int }
+	for si, s := range []stage{{3, 32}, {3, 48}, {3, 64}} {
+		for b := 0; b < s.blocks; b++ {
+			for conv := 0; conv < 2; conv++ {
+				add(Procedure{Label: "ConvBN", Kind: ConvBN, Units: s.units, OutputCts: 1})
+				add(Procedure{Label: "ReLU", Kind: NonLinear, Cts: 4, Degree: 15, OutputCts: 1})
+			}
+			// Roughly one bootstrap every two blocks keeps the depth budget.
+			if (si*3+b)%2 == 1 {
+				add(Procedure{Label: "Boot", Kind: Bootstrap, Cts: 1})
+			}
+		}
+	}
+	add(Procedure{Label: "Pool", Kind: Pooling, Units: 6, OutputCts: 1})
+	add(Procedure{Label: "FC", Kind: FC, Units: 64, OutputCts: 1})
+	return n
+}
+
+// Benchmarks returns the four evaluation networks in Table II order.
+func Benchmarks() []Network {
+	return []Network{ResNet18(), ResNet50(), BERTBase(), OPT67B()}
+}

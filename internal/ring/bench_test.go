@@ -1,0 +1,87 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchNTT(b *testing.B, n int, radix4 bool) {
+	q := GenerateNTTPrimes(55, n, 1)[0]
+	tbl := NewNTTTable(n, q, PrimitiveRoot2N(n, q))
+	rng := rand.New(rand.NewSource(1))
+	a := randomCoeffs(rng, n, q)
+	b.SetBytes(int64(8 * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if radix4 {
+			tbl.ForwardRadix4(a)
+		} else {
+			tbl.Forward(a)
+		}
+	}
+}
+
+// BenchmarkNTTRadix2 vs BenchmarkNTTRadix4: the NTT-kernel ablation behind
+// Hydra's choice of a radix-4 datapath (Section IV-B).
+func BenchmarkNTTRadix2_4096(b *testing.B)  { benchNTT(b, 4096, false) }
+func BenchmarkNTTRadix4_4096(b *testing.B)  { benchNTT(b, 4096, true) }
+func BenchmarkNTTRadix2_65536(b *testing.B) { benchNTT(b, 65536, false) }
+func BenchmarkNTTRadix4_65536(b *testing.B) { benchNTT(b, 65536, true) }
+
+func BenchmarkINTT_4096(b *testing.B) {
+	n := 4096
+	q := GenerateNTTPrimes(55, n, 1)[0]
+	tbl := NewNTTTable(n, q, PrimitiveRoot2N(n, q))
+	rng := rand.New(rand.NewSource(2))
+	a := randomCoeffs(rng, n, q)
+	b.SetBytes(int64(8 * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Inverse(a)
+	}
+}
+
+func BenchmarkMulModBarrett(b *testing.B) {
+	m := NewModulus(testQ)
+	x, y := uint64(0x123456789abcd), uint64(0xfedcba987)
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc ^= m.MulModBarrett(x^acc, y)
+	}
+	_ = acc
+}
+
+func BenchmarkMulModShoup(b *testing.B) {
+	w := uint64(0xfedcba987) % testQ
+	ws := ShoupPrecomp(w, testQ)
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc = MulModShoup(acc^0x123456789abcd, w, ws, testQ)
+	}
+	_ = acc
+}
+
+func BenchmarkAutomorphismNTT(b *testing.B) {
+	r := testRing(b, 4096, 3)
+	s := NewSampler(r, 3)
+	p := r.NewPoly(2)
+	s.Uniform(p)
+	r.NTT(p)
+	out := r.NewPoly(2)
+	perm := AutomorphismNTTIndex(r.N, GaloisElementForRotation(r.N, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.AutomorphismNTT(p, perm, out)
+	}
+}
+
+func BenchmarkMulModMontgomery(b *testing.B) {
+	m := NewMontgomeryModulus(testQ)
+	x := m.ToMont(0x123456789abcd % testQ)
+	y := m.ToMont(0xfedcba987 % testQ)
+	var acc uint64 = x
+	for i := 0; i < b.N; i++ {
+		acc = m.MulModMont(acc, y)
+	}
+	_ = acc
+}

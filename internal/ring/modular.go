@@ -1,0 +1,154 @@
+// Package ring implements the polynomial-ring arithmetic substrate used by
+// the CKKS scheme and by the Hydra accelerator model: 64-bit modular
+// arithmetic (Barrett and Shoup reductions), negacyclic NTT in radix-2 and
+// radix-4 (fused two-stage) variants, RNS polynomials over a chain of
+// NTT-friendly primes, and Galois automorphisms.
+//
+// All moduli are required to satisfy q < 2^62 so that lazy additions of up to
+// four residues never overflow a uint64.
+package ring
+
+import "math/bits"
+
+// Modulus bundles a prime q with the precomputed constants needed for fast
+// Barrett reduction of 128-bit products.
+type Modulus struct {
+	Q uint64
+	// BarrettHi and BarrettLo hold floor(2^128 / Q) as a 128-bit value.
+	BarrettHi uint64
+	BarrettLo uint64
+}
+
+// NewModulus precomputes Barrett constants for q. It panics if q is zero or
+// does not fit the q < 2^62 contract.
+func NewModulus(q uint64) Modulus {
+	if q == 0 || q >= 1<<62 {
+		panic("ring: modulus must satisfy 0 < q < 2^62")
+	}
+	hi, lo := barrettConstant(q)
+	return Modulus{Q: q, BarrettHi: hi, BarrettLo: lo}
+}
+
+// barrettConstant returns floor(2^128 / q) as (hi, lo) 64-bit words.
+func barrettConstant(q uint64) (hi, lo uint64) {
+	// 2^128 / q = (2^64 / q) * 2^64 + ((2^64 mod q) * 2^64) / q.
+	hi, rem := bits.Div64(1, 0, q) // floor(2^64 / q), 2^64 mod q
+	lo, _ = bits.Div64(rem, 0, q)
+	return hi, lo
+}
+
+// AddMod returns a+b mod q for a, b < q.
+func AddMod(a, b, q uint64) uint64 {
+	c := a + b
+	if c >= q {
+		c -= q
+	}
+	return c
+}
+
+// SubMod returns a-b mod q for a, b < q.
+func SubMod(a, b, q uint64) uint64 {
+	c := a - b
+	if a < b {
+		c += q
+	}
+	return c
+}
+
+// NegMod returns -a mod q for a < q.
+func NegMod(a, q uint64) uint64 {
+	if a == 0 {
+		return 0
+	}
+	return q - a
+}
+
+// MulMod returns a*b mod q using 128-bit division. It is the slow, always
+// correct path; hot loops use Barrett or Shoup forms instead.
+func MulMod(a, b, q uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, r := bits.Div64(hi%q, lo, q)
+	return r
+}
+
+// MulModBarrett returns a*b mod q using the precomputed Barrett constant.
+// Inputs need not be fully reduced as long as the 128-bit product a*b is
+// below q*2^64.
+func (m Modulus) MulModBarrett(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return m.Reduce128(hi, lo)
+}
+
+// Reduce128 reduces the 128-bit value hi*2^64+lo modulo q. The value must be
+// below q*2^64.
+func (m Modulus) Reduce128(hi, lo uint64) uint64 {
+	// Estimate quotient: qhat = floor(x * floor(2^128/q) / 2^128).
+	// x = hi*2^64 + lo.
+	mh1, _ := bits.Mul64(lo, m.BarrettLo)
+	mh2, ml2 := bits.Mul64(lo, m.BarrettHi)
+	mh3, ml3 := bits.Mul64(hi, m.BarrettLo)
+	hh, hl := bits.Mul64(hi, m.BarrettHi)
+
+	carry := uint64(0)
+	s, c := bits.Add64(mh1, ml2, 0)
+	carry += c
+	s, c = bits.Add64(s, ml3, 0)
+	carry += c
+	_ = s // s is bits 64..127 of the running sum; only bits >=128 matter.
+
+	qlo, c2 := bits.Add64(mh2, mh3, carry)
+	qhi := hh + c2
+	qlo, c3 := bits.Add64(qlo, hl, 0)
+	qhi += c3
+
+	// r = x - qhat*q, with qhat = qhi*2^64 + qlo (qhi used only via wraparound
+	// of the low product; since r < 2q fits in 64 bits we can work mod 2^64).
+	_ = qhi
+	r := lo - qlo*m.Q
+	for r >= m.Q {
+		r -= m.Q
+	}
+	return r
+}
+
+// ShoupPrecomp returns floor(w * 2^64 / q), the Shoup multiplier for the
+// constant w < q.
+func ShoupPrecomp(w, q uint64) uint64 {
+	s, _ := bits.Div64(w, 0, q)
+	return s
+}
+
+// MulModShoup returns a*w mod q where wShoup = ShoupPrecomp(w, q). Requires
+// q < 2^63 and a < 2q (lazy input allowed); the result is < 2q when lazy is
+// true of the caller's contract, here we fully reduce.
+func MulModShoup(a, w, wShoup, q uint64) uint64 {
+	hi, _ := bits.Mul64(a, wShoup)
+	r := a*w - hi*q
+	if r >= q {
+		r -= q
+	}
+	return r
+}
+
+// PowMod returns a^e mod q.
+func PowMod(a, e, q uint64) uint64 {
+	r := uint64(1 % q)
+	base := a % q
+	for e > 0 {
+		if e&1 == 1 {
+			r = MulMod(r, base, q)
+		}
+		base = MulMod(base, base, q)
+		e >>= 1
+	}
+	return r
+}
+
+// InvMod returns the multiplicative inverse of a modulo the prime q.
+// It panics if a is zero.
+func InvMod(a, q uint64) uint64 {
+	if a%q == 0 {
+		panic("ring: inverse of zero")
+	}
+	return PowMod(a, q-2, q)
+}

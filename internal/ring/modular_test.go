@@ -1,0 +1,165 @@
+package ring
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const testQ = uint64(0x1fffffffffe00001) // 61-bit NTT-friendly prime
+
+func TestAddSubNegMod(t *testing.T) {
+	q := uint64(97)
+	for a := uint64(0); a < q; a += 7 {
+		for b := uint64(0); b < q; b += 5 {
+			if got, want := AddMod(a, b, q), (a+b)%q; got != want {
+				t.Fatalf("AddMod(%d,%d) = %d, want %d", a, b, got, want)
+			}
+			if got, want := SubMod(a, b, q), (a+q-b)%q; got != want {
+				t.Fatalf("SubMod(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+		if got, want := NegMod(a, q), (q-a)%q; got != want {
+			t.Fatalf("NegMod(%d) = %d, want %d", a, got, want)
+		}
+	}
+}
+
+func TestMulModAgainstBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	qs := []uint64{3, 97, 65537, 1<<30 + 35, testQ}
+	for _, q := range qs {
+		if q >= 1<<62 {
+			continue
+		}
+		for i := 0; i < 200; i++ {
+			a := rng.Uint64() % q
+			b := rng.Uint64() % q
+			want := new(big.Int).Mul(new(big.Int).SetUint64(a), new(big.Int).SetUint64(b))
+			want.Mod(want, new(big.Int).SetUint64(q))
+			if got := MulMod(a, b, q); got != want.Uint64() {
+				t.Fatalf("MulMod(%d,%d,%d) = %d, want %d", a, b, q, got, want)
+			}
+		}
+	}
+}
+
+func TestMulModBarrettMatchesMulMod(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, q := range []uint64{97, 12289, 1<<45 + 0x7001, testQ} {
+		m := NewModulus(q)
+		for i := 0; i < 500; i++ {
+			a := rng.Uint64() % q
+			b := rng.Uint64() % q
+			if got, want := m.MulModBarrett(a, b), MulMod(a, b, q); got != want {
+				t.Fatalf("q=%d: Barrett(%d,%d) = %d, want %d", q, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestMulModBarrettProperty(t *testing.T) {
+	m := NewModulus(testQ)
+	f := func(a, b uint64) bool {
+		a %= testQ
+		b %= testQ
+		return m.MulModBarrett(a, b) == MulMod(a, b, testQ)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulModShoupMatchesMulMod(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, q := range []uint64{97, 12289, testQ} {
+		for i := 0; i < 300; i++ {
+			a := rng.Uint64() % q
+			w := rng.Uint64() % q
+			ws := ShoupPrecomp(w, q)
+			if got, want := MulModShoup(a, w, ws, q), MulMod(a, w, q); got != want {
+				t.Fatalf("q=%d: Shoup(%d,%d) = %d, want %d", q, a, w, got, want)
+			}
+		}
+	}
+}
+
+func TestPowModAndInvMod(t *testing.T) {
+	q := uint64(12289)
+	if got := PowMod(3, 0, q); got != 1 {
+		t.Fatalf("PowMod(3,0) = %d, want 1", got)
+	}
+	if got := PowMod(2, 10, q); got != 1024 {
+		t.Fatalf("PowMod(2,10) = %d, want 1024", got)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		a := rng.Uint64()%(q-1) + 1
+		inv := InvMod(a, q)
+		if MulMod(a, inv, q) != 1 {
+			t.Fatalf("InvMod(%d) * %d != 1", a, a)
+		}
+	}
+}
+
+func TestInvModZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("InvMod(0) did not panic")
+		}
+	}()
+	InvMod(0, 97)
+}
+
+func TestNewModulusRejectsOutOfRange(t *testing.T) {
+	for _, q := range []uint64{0, 1 << 62, 1 << 63} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewModulus(%d) did not panic", q)
+				}
+			}()
+			NewModulus(q)
+		}()
+	}
+}
+
+func TestMontgomeryMatchesMulMod(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, q := range []uint64{97, 12289, 1<<45 + 0x7001, testQ} {
+		m := NewMontgomeryModulus(q)
+		for i := 0; i < 300; i++ {
+			a := rng.Uint64() % q
+			b := rng.Uint64() % q
+			got := m.FromMont(m.MulModMont(m.ToMont(a), m.ToMont(b)))
+			if want := MulMod(a, b, q); got != want {
+				t.Fatalf("q=%d: Montgomery(%d,%d) = %d, want %d", q, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestMontgomeryRoundTripProperty(t *testing.T) {
+	m := NewMontgomeryModulus(testQ)
+	f := func(a uint64) bool {
+		a %= testQ
+		return m.FromMont(m.ToMont(a)) == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMontgomeryRejectsBadModulus(t *testing.T) {
+	for _, q := range []uint64{10, 1 << 62} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewMontgomeryModulus(%d) did not panic", q)
+				}
+			}()
+			NewMontgomeryModulus(q)
+		}()
+	}
+}

@@ -1,0 +1,64 @@
+package ring
+
+import "math/bits"
+
+// Montgomery arithmetic: an alternative fast reduction for hot loops that
+// multiply many values by the same operand set (the MM compute unit of the
+// accelerator can be built either way; Barrett, Shoup and Montgomery are all
+// provided and cross-checked).
+
+// MontgomeryModulus precomputes the constants for REDC modulo an odd q.
+type MontgomeryModulus struct {
+	Q    uint64
+	QInv uint64 // -q^-1 mod 2^64
+	R2   uint64 // 2^128 mod q, to enter the Montgomery domain
+}
+
+// NewMontgomeryModulus prepares Montgomery constants for the odd modulus q.
+func NewMontgomeryModulus(q uint64) MontgomeryModulus {
+	if q%2 == 0 || q >= 1<<62 {
+		panic("ring: Montgomery modulus must be odd and < 2^62")
+	}
+	// Newton iteration for q^-1 mod 2^64.
+	inv := q
+	for i := 0; i < 5; i++ {
+		inv *= 2 - q*inv
+	}
+	// R2 = (2^64 mod q)^2 mod q.
+	r := (^uint64(0))%q + 1 // 2^64 mod q
+	if r == q {
+		r = 0
+	}
+	return MontgomeryModulus{Q: q, QInv: -inv, R2: MulMod(r, r, q)}
+}
+
+// REDC reduces the 128-bit value hi·2^64+lo (which must be < q·2^64),
+// returning x·2^-64 mod q.
+func (m MontgomeryModulus) REDC(hi, lo uint64) uint64 {
+	u := lo * m.QInv
+	mh, _ := bits.Mul64(u, m.Q)
+	r, carry := bits.Add64(lo, u*m.Q, 0)
+	_ = r // the low half cancels to zero by construction
+	out := hi + mh + carry
+	if out >= m.Q {
+		out -= m.Q
+	}
+	return out
+}
+
+// ToMont maps a into the Montgomery domain (a·2^64 mod q).
+func (m MontgomeryModulus) ToMont(a uint64) uint64 {
+	hi, lo := bits.Mul64(a, m.R2)
+	return m.REDC(hi, lo)
+}
+
+// FromMont maps a Montgomery-domain value back to the standard domain.
+func (m MontgomeryModulus) FromMont(a uint64) uint64 {
+	return m.REDC(0, a)
+}
+
+// MulModMont multiplies two Montgomery-domain values, staying in the domain.
+func (m MontgomeryModulus) MulModMont(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return m.REDC(hi, lo)
+}

@@ -1,0 +1,254 @@
+package ring
+
+// NTTTable holds the precomputed twiddle factors for the negacyclic
+// number-theoretic transform of length N modulo a prime q ≡ 1 (mod 2N).
+//
+// The forward transform maps the coefficient vector of a(X) ∈ Z_q[X]/(X^N+1)
+// to its evaluations at the odd powers of a primitive 2N-th root of unity ψ,
+// in natural order: NTT(a)[j] = a(ψ^(2j+1)). Keeping the evaluation order
+// natural makes Galois automorphisms a simple index permutation (see
+// automorphism.go), mirroring the logical-control automorphism unit of the
+// Poseidon/Hydra hardware.
+type NTTTable struct {
+	N      int
+	LogN   int
+	Mod    Modulus
+	Psi    uint64 // primitive 2N-th root of unity
+	PsiInv uint64
+
+	psiPows      []uint64 // ψ^i, i ∈ [0,N)
+	psiPowsShoup []uint64
+	// scaledPsiInvPows[i] = ψ^(-i) / N, merging the untwist and 1/N scale of
+	// the inverse transform.
+	scaledPsiInvPows      []uint64
+	scaledPsiInvPowsShoup []uint64
+
+	omegaPows         []uint64 // ω^i with ω = ψ², i ∈ [0,N)
+	omegaPowsShoup    []uint64
+	omegaInvPows      []uint64
+	omegaInvPowsShoup []uint64
+
+	brv []int // bit-reversal permutation of [0,N)
+}
+
+// NewNTTTable builds the tables for length n (a power of two ≥ 2) and prime
+// q ≡ 1 (mod 2n). psi must be a primitive 2n-th root of unity mod q.
+func NewNTTTable(n int, q, psi uint64) *NTTTable {
+	if n < 2 || n&(n-1) != 0 {
+		panic("ring: NTT length must be a power of two >= 2")
+	}
+	if (q-1)%uint64(2*n) != 0 {
+		panic("ring: modulus not NTT-friendly for this length")
+	}
+	if PowMod(psi, uint64(n), q) != q-1 {
+		panic("ring: psi is not a primitive 2N-th root of unity")
+	}
+	t := &NTTTable{
+		N:      n,
+		LogN:   log2(n),
+		Mod:    NewModulus(q),
+		Psi:    psi,
+		PsiInv: InvMod(psi, q),
+	}
+	t.psiPows = powerTable(psi, n, q)
+	t.psiPowsShoup = shoupTable(t.psiPows, q)
+
+	nInv := InvMod(uint64(n), q)
+	psiInvPows := powerTable(t.PsiInv, n, q)
+	t.scaledPsiInvPows = make([]uint64, n)
+	for i, v := range psiInvPows {
+		t.scaledPsiInvPows[i] = MulMod(v, nInv, q)
+	}
+	t.scaledPsiInvPowsShoup = shoupTable(t.scaledPsiInvPows, q)
+
+	omega := MulMod(psi, psi, q)
+	t.omegaPows = powerTable(omega, n, q)
+	t.omegaPowsShoup = shoupTable(t.omegaPows, q)
+	omegaInv := InvMod(omega, q)
+	t.omegaInvPows = powerTable(omegaInv, n, q)
+	t.omegaInvPowsShoup = shoupTable(t.omegaInvPows, q)
+
+	t.brv = bitReversePerm(n)
+	return t
+}
+
+func log2(n int) int {
+	l := 0
+	for 1<<l < n {
+		l++
+	}
+	return l
+}
+
+func powerTable(base uint64, n int, q uint64) []uint64 {
+	tbl := make([]uint64, n)
+	tbl[0] = 1
+	for i := 1; i < n; i++ {
+		tbl[i] = MulMod(tbl[i-1], base, q)
+	}
+	return tbl
+}
+
+func shoupTable(vals []uint64, q uint64) []uint64 {
+	tbl := make([]uint64, len(vals))
+	for i, v := range vals {
+		tbl[i] = ShoupPrecomp(v, q)
+	}
+	return tbl
+}
+
+func bitReversePerm(n int) []int {
+	logN := log2(n)
+	p := make([]int, n)
+	for i := range p {
+		r := 0
+		for b := 0; b < logN; b++ {
+			if i&(1<<b) != 0 {
+				r |= 1 << (logN - 1 - b)
+			}
+		}
+		p[i] = r
+	}
+	return p
+}
+
+// Forward computes the in-place negacyclic NTT of a (radix-2 butterflies).
+func (t *NTTTable) Forward(a []uint64) {
+	t.twist(a)
+	t.bitReverse(a)
+	t.cyclicForwardRadix2(a)
+}
+
+// ForwardRadix4 computes the same transform as Forward, but with fused
+// two-stage (radix-4) butterflies in the cyclic core, halving the number of
+// passes over the data. This mirrors the Radix-4 NTT unit Hydra adopts in
+// place of Poseidon's Radix-8 design.
+func (t *NTTTable) ForwardRadix4(a []uint64) {
+	t.twist(a)
+	t.bitReverse(a)
+	t.cyclicForwardRadix4(a)
+}
+
+// Inverse computes the in-place inverse negacyclic NTT of a.
+func (t *NTTTable) Inverse(a []uint64) {
+	t.bitReverse(a)
+	t.cyclicInverseRadix2(a)
+	t.untwist(a)
+}
+
+// twist multiplies a[i] by ψ^i, turning negacyclic convolution into cyclic.
+func (t *NTTTable) twist(a []uint64) {
+	q := t.Mod.Q
+	for i := range a {
+		a[i] = MulModShoup(a[i], t.psiPows[i], t.psiPowsShoup[i], q)
+	}
+}
+
+// untwist multiplies a[i] by ψ^(-i)/N.
+func (t *NTTTable) untwist(a []uint64) {
+	q := t.Mod.Q
+	for i := range a {
+		a[i] = MulModShoup(a[i], t.scaledPsiInvPows[i], t.scaledPsiInvPowsShoup[i], q)
+	}
+}
+
+func (t *NTTTable) bitReverse(a []uint64) {
+	for i, r := range t.brv {
+		if i < r {
+			a[i], a[r] = a[r], a[i]
+		}
+	}
+}
+
+// cyclicForwardRadix2 runs the classic iterative Cooley-Tukey DIT NTT on
+// bit-reversed input, producing natural-order output.
+func (t *NTTTable) cyclicForwardRadix2(a []uint64) {
+	q := t.Mod.Q
+	n := t.N
+	for h := 1; h < n; h <<= 1 {
+		step := n / (2 * h) // twiddle stride for this stage
+		for k := 0; k < n; k += 2 * h {
+			for j := 0; j < h; j++ {
+				w := t.omegaPows[step*j]
+				ws := t.omegaPowsShoup[step*j]
+				u := a[k+j]
+				v := MulModShoup(a[k+j+h], w, ws, q)
+				a[k+j] = AddMod(u, v, q)
+				a[k+j+h] = SubMod(u, v, q)
+			}
+		}
+	}
+}
+
+// cyclicForwardRadix4 fuses pairs of radix-2 stages into radix-4 butterflies.
+// If log2(N) is odd, a single radix-2 stage runs first so the remaining stage
+// count is even. The output is bit-for-bit identical to cyclicForwardRadix2.
+func (t *NTTTable) cyclicForwardRadix4(a []uint64) {
+	q := t.Mod.Q
+	n := t.N
+	h := 1
+	if t.LogN%2 == 1 {
+		// Single leading radix-2 stage (h = 1): butterfly neighbours with
+		// twiddle ω^0 = 1.
+		for k := 0; k < n; k += 2 {
+			u, v := a[k], a[k+1]
+			a[k] = AddMod(u, v, q)
+			a[k+1] = SubMod(u, v, q)
+		}
+		h = 2
+	}
+	for ; h < n; h <<= 2 {
+		stepA := n / (2 * h) // twiddle stride of the first fused stage
+		stepB := stepA / 2   // twiddle stride of the second fused stage
+		for k := 0; k < n; k += 4 * h {
+			for j := 0; j < h; j++ {
+				wA := t.omegaPows[stepA*j]
+				wAs := t.omegaPowsShoup[stepA*j]
+				wB := t.omegaPows[stepB*j]
+				wBs := t.omegaPowsShoup[stepB*j]
+				wB2 := t.omegaPows[stepB*(j+h)]
+				wB2s := t.omegaPowsShoup[stepB*(j+h)]
+
+				x0 := a[k+j]
+				x1 := a[k+j+h]
+				x2 := a[k+j+2*h]
+				x3 := a[k+j+3*h]
+
+				// Stage A: blocks (x0,x1) and (x2,x3), same twiddle pattern.
+				v := MulModShoup(x1, wA, wAs, q)
+				y0 := AddMod(x0, v, q)
+				y1 := SubMod(x0, v, q)
+				v = MulModShoup(x3, wA, wAs, q)
+				y2 := AddMod(x2, v, q)
+				y3 := SubMod(x2, v, q)
+
+				// Stage B: blocks (y0,y2) with twiddle index j and (y1,y3)
+				// with twiddle index j+h.
+				v = MulModShoup(y2, wB, wBs, q)
+				a[k+j] = AddMod(y0, v, q)
+				a[k+j+2*h] = SubMod(y0, v, q)
+				v = MulModShoup(y3, wB2, wB2s, q)
+				a[k+j+h] = AddMod(y1, v, q)
+				a[k+j+3*h] = SubMod(y1, v, q)
+			}
+		}
+	}
+}
+
+func (t *NTTTable) cyclicInverseRadix2(a []uint64) {
+	q := t.Mod.Q
+	n := t.N
+	for h := 1; h < n; h <<= 1 {
+		step := n / (2 * h)
+		for k := 0; k < n; k += 2 * h {
+			for j := 0; j < h; j++ {
+				w := t.omegaInvPows[step*j]
+				ws := t.omegaInvPowsShoup[step*j]
+				u := a[k+j]
+				v := MulModShoup(a[k+j+h], w, ws, q)
+				a[k+j] = AddMod(u, v, q)
+				a[k+j+h] = SubMod(u, v, q)
+			}
+		}
+	}
+}

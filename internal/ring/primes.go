@@ -1,0 +1,54 @@
+package ring
+
+import "math/big"
+
+// GenerateNTTPrimes returns count distinct primes q ≡ 1 (mod 2n) close to
+// 2^logQ, searching downward (and upward if the downward space is exhausted).
+// Such primes admit a negacyclic NTT of length n.
+func GenerateNTTPrimes(logQ, n, count int) []uint64 {
+	if logQ < 4 || logQ > 61 {
+		panic("ring: logQ must be in [4,61]")
+	}
+	step := uint64(2 * n)
+	base := uint64(1) << uint(logQ)
+	// Largest candidate ≡ 1 (mod 2n) below 2^logQ.
+	down := base - (base-1)%step
+	up := down + step
+
+	primes := make([]uint64, 0, count)
+	for len(primes) < count {
+		switch {
+		case down > step && isPrime(down):
+			primes = append(primes, down)
+			down -= step
+		case down > step:
+			down -= step
+		case isPrime(up):
+			primes = append(primes, up)
+			up += step
+		default:
+			up += step
+		}
+	}
+	return primes
+}
+
+func isPrime(q uint64) bool {
+	return new(big.Int).SetUint64(q).ProbablyPrime(20)
+}
+
+// PrimitiveRoot2N returns a primitive 2n-th root of unity modulo the prime q,
+// which must satisfy q ≡ 1 (mod 2n).
+func PrimitiveRoot2N(n int, q uint64) uint64 {
+	if (q-1)%uint64(2*n) != 0 {
+		panic("ring: q is not ≡ 1 (mod 2n)")
+	}
+	exp := (q - 1) / uint64(2*n)
+	for g := uint64(2); ; g++ {
+		psi := PowMod(g, exp, q)
+		// psi has order dividing 2n; it is primitive iff psi^n = -1.
+		if PowMod(psi, uint64(n), q) == q-1 {
+			return psi
+		}
+	}
+}

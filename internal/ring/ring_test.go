@@ -1,0 +1,272 @@
+package ring
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRingValidation(t *testing.T) {
+	good := GenerateNTTPrimes(40, 64, 2)
+	if _, err := NewRing(48, good); err == nil {
+		t.Fatal("expected error for non power-of-two degree")
+	}
+	if _, err := NewRing(64, nil); err == nil {
+		t.Fatal("expected error for empty moduli")
+	}
+	if _, err := NewRing(64, []uint64{good[0], good[0]}); err == nil {
+		t.Fatal("expected error for duplicate moduli")
+	}
+	if _, err := NewRing(64, []uint64{97}); err == nil {
+		t.Fatal("expected error for non-NTT-friendly modulus")
+	}
+	if _, err := NewRing(64, good); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestPolyLevelsAndCopy(t *testing.T) {
+	r := testRing(t, 64, 3)
+	p := r.NewPoly(2)
+	if p.Level() != 2 {
+		t.Fatalf("level = %d, want 2", p.Level())
+	}
+	s := NewSampler(r, 1)
+	s.Uniform(p)
+	cp := p.CopyNew()
+	if !cp.Equal(p) {
+		t.Fatal("copy differs from original")
+	}
+	cp.Coeffs[0][0]++
+	if cp.Equal(p) {
+		t.Fatal("mutating copy affected original equality")
+	}
+	p.DropLevel()
+	if p.Level() != 1 {
+		t.Fatalf("level after drop = %d, want 1", p.Level())
+	}
+}
+
+func TestRingAddSubNeg(t *testing.T) {
+	r := testRing(t, 128, 2)
+	s := NewSampler(r, 2)
+	a, b := r.NewPoly(1), r.NewPoly(1)
+	s.Uniform(a)
+	s.Uniform(b)
+	sum, diff, neg := r.NewPoly(1), r.NewPoly(1), r.NewPoly(1)
+	r.Add(a, b, sum)
+	r.Sub(sum, b, diff)
+	if !diff.Equal(a) {
+		t.Fatal("(a+b)-b != a")
+	}
+	r.Neg(a, neg)
+	r.Add(a, neg, sum)
+	for i := range sum.Coeffs {
+		for _, c := range sum.Coeffs[i] {
+			if c != 0 {
+				t.Fatal("a + (-a) != 0")
+			}
+		}
+	}
+}
+
+func TestRingMulCoeffsIsNegacyclicMul(t *testing.T) {
+	r := testRing(t, 32, 1)
+	s := NewSampler(r, 3)
+	a, b := r.NewPoly(0), r.NewPoly(0)
+	s.Uniform(a)
+	s.Uniform(b)
+	want := naiveNegacyclicMul(a.Coeffs[0], b.Coeffs[0], r.Moduli[0])
+
+	r.NTT(a)
+	r.NTT(b)
+	prod := r.NewPoly(0)
+	r.MulCoeffs(a, b, prod)
+	r.INTT(prod)
+	for i, w := range want {
+		if prod.Coeffs[0][i] != w {
+			t.Fatalf("product mismatch at %d", i)
+		}
+	}
+}
+
+func TestRingNTTRadix4MatchesNTT(t *testing.T) {
+	r := testRing(t, 256, 2)
+	s := NewSampler(r, 4)
+	a := r.NewPoly(1)
+	s.Uniform(a)
+	b := a.CopyNew()
+	r.NTT(a)
+	r.NTTRadix4(b)
+	if !a.Equal(b) {
+		t.Fatal("radix-4 ring NTT differs from radix-2")
+	}
+}
+
+func TestRingMulScalar(t *testing.T) {
+	r := testRing(t, 64, 2)
+	s := NewSampler(r, 5)
+	a := r.NewPoly(1)
+	s.Uniform(a)
+	out := r.NewPoly(1)
+	r.MulScalar(a, 3, out)
+	// out should equal a+a+a.
+	want := r.NewPoly(1)
+	r.Add(a, a, want)
+	r.Add(want, a, want)
+	if !out.Equal(want) {
+		t.Fatal("MulScalar(3) != a+a+a")
+	}
+}
+
+func TestBigIntRoundTrip(t *testing.T) {
+	r := testRing(t, 32, 3)
+	s := NewSampler(r, 6)
+	p := r.NewPoly(2)
+	s.Uniform(p)
+	vals := make([]*big.Int, r.N)
+	r.ToBigInt(p, vals)
+	back := r.NewPoly(2)
+	r.SetBigInt(vals, back)
+	if !back.Equal(p) {
+		t.Fatal("big.Int round trip failed")
+	}
+}
+
+func TestSetBigIntNegative(t *testing.T) {
+	r := testRing(t, 8, 2)
+	vals := make([]*big.Int, r.N)
+	for i := range vals {
+		vals[i] = big.NewInt(int64(-1 - i))
+	}
+	p := r.NewPoly(1)
+	r.SetBigInt(vals, p)
+	for i := range p.Coeffs {
+		q := r.Moduli[i]
+		for j := 0; j < r.N; j++ {
+			want := q - uint64(1+j)
+			if p.Coeffs[i][j] != want {
+				t.Fatalf("residue %d coeff %d = %d, want %d", i, j, p.Coeffs[i][j], want)
+			}
+		}
+	}
+}
+
+func TestAutomorphismCoeffComposition(t *testing.T) {
+	r := testRing(t, 64, 1)
+	s := NewSampler(r, 7)
+	a := r.NewPoly(0)
+	s.Uniform(a)
+	// τ_k ∘ τ_k' = τ_{kk' mod 2N}.
+	k1 := GaloisElementForRotation(r.N, 3)
+	k2 := GaloisElementForRotation(r.N, 5)
+	t1, t2, direct := r.NewPoly(0), r.NewPoly(0), r.NewPoly(0)
+	r.AutomorphismCoeff(a, k1, t1)
+	r.AutomorphismCoeff(t1, k2, t2)
+	k12 := (k1 * k2) % uint64(2*r.N)
+	r.AutomorphismCoeff(a, k12, direct)
+	if !t2.Equal(direct) {
+		t.Fatal("automorphism composition failed")
+	}
+}
+
+func TestAutomorphismNTTMatchesCoeff(t *testing.T) {
+	r := testRing(t, 128, 2)
+	s := NewSampler(r, 8)
+	a := r.NewPoly(1)
+	s.Uniform(a)
+	for _, rot := range []int{1, 2, 7, -1} {
+		k := GaloisElementForRotation(r.N, rot)
+		// Coefficient-domain path.
+		viaCoeff := r.NewPoly(1)
+		r.AutomorphismCoeff(a, k, viaCoeff)
+		r.NTT(viaCoeff)
+		// NTT-domain path.
+		aNTT := a.CopyNew()
+		r.NTT(aNTT)
+		viaNTT := r.NewPoly(1)
+		perm := AutomorphismNTTIndex(r.N, k)
+		r.AutomorphismNTT(aNTT, perm, viaNTT)
+		if !viaNTT.Equal(viaCoeff) {
+			t.Fatalf("rot=%d: NTT-domain automorphism differs from coefficient-domain", rot)
+		}
+	}
+}
+
+func TestGaloisElements(t *testing.T) {
+	n := 64
+	if k := GaloisElementForRotation(n, 0); k != 1 {
+		t.Fatalf("rotation 0 element = %d, want 1", k)
+	}
+	if k := GaloisElementConjugate(n); k != uint64(2*n-1) {
+		t.Fatalf("conjugate element = %d", k)
+	}
+	// Rotation by slots (n/2) is the identity.
+	if k := GaloisElementForRotation(n, n/2); k != 1 {
+		t.Fatalf("full rotation element = %d, want 1", k)
+	}
+	// Negative rotations wrap.
+	if GaloisElementForRotation(n, -1) != GaloisElementForRotation(n, n/2-1) {
+		t.Fatal("negative rotation did not wrap")
+	}
+}
+
+func TestSamplerDistributions(t *testing.T) {
+	r := testRing(t, 1024, 1)
+	s := NewSampler(r, 9)
+	p := r.NewPoly(0)
+
+	s.Ternary(p)
+	q := r.Moduli[0]
+	counts := map[uint64]int{}
+	for _, c := range p.Coeffs[0] {
+		counts[c]++
+		if c != 0 && c != 1 && c != q-1 {
+			t.Fatalf("ternary coefficient %d out of range", c)
+		}
+	}
+	for _, v := range []uint64{0, 1, q - 1} {
+		if counts[v] < r.N/6 {
+			t.Fatalf("ternary value %d badly underrepresented: %d", v, counts[v])
+		}
+	}
+
+	s.Gaussian(p, 3.2)
+	for _, c := range p.Coeffs[0] {
+		mag := c
+		if c > q/2 {
+			mag = q - c
+		}
+		if mag > 20 {
+			t.Fatalf("gaussian coefficient magnitude %d too large", mag)
+		}
+	}
+}
+
+func TestSamplerDeterminism(t *testing.T) {
+	r := testRing(t, 64, 2)
+	p1, p2 := r.NewPoly(1), r.NewPoly(1)
+	NewSampler(r, 42).Uniform(p1)
+	NewSampler(r, 42).Uniform(p2)
+	if !p1.Equal(p2) {
+		t.Fatal("same seed produced different polynomials")
+	}
+}
+
+func TestUniformRejectionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := testRing(t, 8, 1)
+		s := NewSampler(r, seed)
+		p := r.NewPoly(0)
+		s.Uniform(p)
+		for _, c := range p.Coeffs[0] {
+			if c >= r.Moduli[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

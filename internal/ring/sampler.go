@@ -1,0 +1,113 @@
+package ring
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Sampler draws the random polynomials needed by CKKS key generation and
+// encryption. It is deterministic for a given seed, which keeps tests and
+// benchmarks reproducible (the simulator never consumes secure randomness;
+// a production deployment would swap in crypto/rand).
+type Sampler struct {
+	rng  *rand.Rand
+	ring *Ring
+}
+
+// NewSampler returns a sampler over r seeded with seed.
+func NewSampler(r *Ring, seed int64) *Sampler {
+	return &Sampler{rng: rand.New(rand.NewSource(seed)), ring: r}
+}
+
+// Uniform fills p with independent uniform residues in [0, q_i).
+func (s *Sampler) Uniform(p *Poly) {
+	for i := range p.Coeffs {
+		q := s.ring.Moduli[i]
+		for j := range p.Coeffs[i] {
+			p.Coeffs[i][j] = uniform64(s.rng, q)
+		}
+	}
+	p.IsNTT = false
+}
+
+func uniform64(rng *rand.Rand, q uint64) uint64 {
+	// Rejection sampling to avoid modulo bias.
+	max := (^uint64(0) / q) * q
+	for {
+		v := rng.Uint64()
+		if v < max {
+			return v % q
+		}
+	}
+}
+
+// Ternary fills p with coefficients drawn uniformly from {-1, 0, 1}, the
+// standard CKKS secret distribution.
+func (s *Sampler) Ternary(p *Poly) {
+	n := s.ring.N
+	vals := make([]int8, n)
+	for j := range vals {
+		vals[j] = int8(s.rng.Intn(3)) - 1
+	}
+	s.setSmall(p, vals)
+}
+
+// TernarySparse fills p with a ternary polynomial of exact Hamming weight h:
+// h coefficients are ±1 (signs uniform), the rest zero. Sparse secrets bound
+// the |I| coefficient growth during bootstrapping's modulus raise.
+func (s *Sampler) TernarySparse(p *Poly, h int) {
+	n := s.ring.N
+	if h < 0 || h > n {
+		panic("ring: sparse ternary weight out of range")
+	}
+	vals := make([]int8, n)
+	// Partial Fisher-Yates over the positions.
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = i
+	}
+	for i := 0; i < h; i++ {
+		j := i + s.rng.Intn(n-i)
+		pos[i], pos[j] = pos[j], pos[i]
+		if s.rng.Intn(2) == 0 {
+			vals[pos[i]] = 1
+		} else {
+			vals[pos[i]] = -1
+		}
+	}
+	s.setSmall(p, vals)
+}
+
+// Gaussian fills p with coefficients from a rounded Gaussian of standard
+// deviation sigma, truncated at 6 sigma (the conventional CKKS error
+// distribution with sigma = 3.2).
+func (s *Sampler) Gaussian(p *Poly, sigma float64) {
+	n := s.ring.N
+	bound := 6 * sigma
+	vals := make([]int8, n)
+	for j := range vals {
+		for {
+			x := s.rng.NormFloat64() * sigma
+			if math.Abs(x) <= bound {
+				vals[j] = int8(math.Round(x))
+				break
+			}
+		}
+	}
+	s.setSmall(p, vals)
+}
+
+// setSmall writes small signed coefficients into every residue of p.
+func (s *Sampler) setSmall(p *Poly, vals []int8) {
+	for i := range p.Coeffs {
+		q := s.ring.Moduli[i]
+		for j, v := range vals {
+			if v >= 0 {
+				p.Coeffs[i][j] = uint64(v)
+			} else {
+				p.Coeffs[i][j] = q - uint64(-v)
+			}
+		}
+	}
+	p.IsNTT = false
+}

@@ -1,0 +1,247 @@
+// Package runtime executes Hydra task programs concurrently: every card gets
+// a computation engine, a transmit engine and a receive engine (goroutines),
+// wired together exactly as Procedure 1 of the paper prescribes — receive
+// tasks configure and hand a ready signal to their sender, sends wait for the
+// producing computation's finish signal and the receivers' ready signals,
+// data-dependent computations wait for their receive's completion signal.
+// Steps are separated by the Procedure 2 barrier (all queues drained, cards
+// signal the host).
+//
+// Where internal/sim computes the schedule's timing analytically, this
+// package actually runs it, so the synchronization mechanism is validated by
+// execution (including under the race detector), and callers can attach real
+// work to tasks through the hooks.
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hydra/internal/task"
+)
+
+// Options configure an execution.
+type Options struct {
+	// OnCompute runs in the card's computation engine for every computation
+	// task (may be nil). Returning an error aborts the execution.
+	OnCompute func(card int, t task.Compute) error
+	// OnTransfer runs on the receiving card for every delivered message
+	// (may be nil).
+	OnTransfer func(from, to int, bytes float64) error
+}
+
+// Stats summarizes an execution.
+type Stats struct {
+	ComputeTasks int64
+	Sends        int64
+	Receives     int64
+	BytesMoved   float64
+}
+
+// message is what travels between cards.
+type message struct {
+	from  int
+	bytes float64
+}
+
+// Execute runs the program to completion. The context bounds the execution:
+// cancellation (e.g. a timeout) aborts with an error, which is how tests
+// detect deadlocked schedules.
+func Execute(ctx context.Context, p *task.Program, opts Options) (*Stats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	stats := &Stats{}
+	for si, st := range p.Steps {
+		if err := runStep(ctx, p, st, opts, stats); err != nil {
+			return nil, fmt.Errorf("runtime: step %d (%s): %w", si, st.Name, err)
+		}
+	}
+	return stats, nil
+}
+
+func runStep(parent context.Context, p *task.Program, st *task.Step, opts Options, stats *Stats) error {
+	// Any engine failure cancels the step so its peers unblock.
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	// Per-task signal channels (closed on completion).
+	computeDone := make([][]chan struct{}, p.Cards)
+	recvReady := make([][]chan struct{}, p.Cards)
+	recvData := make([][]chan message, p.Cards)
+	recvDone := make([][]chan struct{}, p.Cards)
+	for card := 0; card < p.Cards; card++ {
+		computeDone[card] = mkChans(len(st.Compute[card]))
+		recvReady[card] = mkChans(len(st.Comm[card]))
+		recvDone[card] = mkChans(len(st.Comm[card]))
+		recvData[card] = make([]chan message, len(st.Comm[card]))
+		for j := range recvData[card] {
+			recvData[card][j] = make(chan message, 1)
+		}
+	}
+	// Tag → receive endpoints, for the senders.
+	type endpoint struct{ card, index int }
+	recvByTag := map[int][]endpoint{}
+	for card := 0; card < p.Cards; card++ {
+		for j, c := range st.Comm[card] {
+			if c.Kind == task.Recv {
+				recvByTag[c.Tag] = append(recvByTag[c.Tag], endpoint{card, j})
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 3*p.Cards)
+	fail := func(err error) {
+		select {
+		case errc <- err:
+		default:
+		}
+		cancel()
+	}
+	var computeTasks, sends, receives int64
+	var bytesMu sync.Mutex
+	bytesMoved := 0.0
+
+	for card := 0; card < p.Cards; card++ {
+		card := card
+
+		// Computation engine: GetTask⟨c⟩; CT_d waits for the receive's
+		// finish signal; Exe; Signal; Return(1).
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, c := range st.Compute[card] {
+				if c.WaitRecv >= 0 {
+					if !await(ctx, recvDone[card][c.WaitRecv]) {
+						fail(ctx.Err())
+						return
+					}
+				}
+				if opts.OnCompute != nil {
+					if err := opts.OnCompute(card, c); err != nil {
+						fail(err)
+						return
+					}
+				}
+				atomic.AddInt64(&computeTasks, 1)
+				close(computeDone[card][i]) // finish signal to the comm engine
+			}
+		}()
+
+		// Transmit engine: GetTask⟨t∈s⟩; Check (compute finish + receiver
+		// ready); Exe (send); Return(1).
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, c := range st.Comm[card] {
+				if c.Kind != task.Send {
+					continue
+				}
+				if c.WaitCompute >= 0 {
+					if !await(ctx, computeDone[card][c.WaitCompute]) {
+						fail(ctx.Err())
+						return
+					}
+				}
+				eps := recvByTag[c.Tag]
+				for _, ep := range eps {
+					if !await(ctx, recvReady[ep.card][ep.index]) {
+						fail(ctx.Err())
+						return
+					}
+				}
+				for _, ep := range eps {
+					select {
+					case recvData[ep.card][ep.index] <- message{from: card, bytes: c.Bytes}:
+					case <-ctx.Done():
+						fail(ctx.Err())
+						return
+					}
+				}
+				atomic.AddInt64(&sends, 1)
+			}
+		}()
+
+		// Receive engine: GetTask⟨t∈r⟩; Cfg; Signal (ready to the sender);
+		// Wait; Exe (receive); Signal (finish to the computation engine).
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j, c := range st.Comm[card] {
+				if c.Kind != task.Recv {
+					continue
+				}
+				close(recvReady[card][j]) // DMA configured; handshake ready
+				var m message
+				select {
+				case m = <-recvData[card][j]:
+				case <-ctx.Done():
+					fail(ctx.Err())
+					return
+				}
+				if opts.OnTransfer != nil {
+					if err := opts.OnTransfer(m.from, card, m.bytes); err != nil {
+						fail(err)
+						return
+					}
+				}
+				atomic.AddInt64(&receives, 1)
+				bytesMu.Lock()
+				bytesMoved += m.bytes
+				bytesMu.Unlock()
+				close(recvDone[card][j]) // finish signal to the computation engine
+			}
+		}()
+	}
+
+	// Procedure 2 barrier: the step completes when every card's queues are
+	// drained (each card would signal the host).
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		<-done // engines exit on ctx.Done
+	}
+	// The first failure wins; context errors surface as abort diagnostics.
+	select {
+	case err := <-errc:
+		if err == nil || err == context.Canceled || err == context.DeadlineExceeded {
+			return fmt.Errorf("aborted (deadlock or timeout): %w", err)
+		}
+		return err
+	default:
+	}
+	if parent.Err() != nil {
+		return fmt.Errorf("aborted (deadlock or timeout): %w", parent.Err())
+	}
+	stats.ComputeTasks += computeTasks
+	stats.Sends += sends
+	stats.Receives += receives
+	stats.BytesMoved += bytesMoved
+	return nil
+}
+
+func mkChans(n int) []chan struct{} {
+	out := make([]chan struct{}, n)
+	for i := range out {
+		out[i] = make(chan struct{})
+	}
+	return out
+}
+
+// await blocks until ch closes or the context is cancelled; it reports
+// whether ch closed.
+func await(ctx context.Context, ch <-chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,223 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hydra/internal/fheop"
+	"hydra/internal/hw"
+	"hydra/internal/mapping"
+	"hydra/internal/task"
+)
+
+func execute(t *testing.T, p *task.Program, opts Options) *Stats {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	stats, err := Execute(ctx, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+func TestSimplePipeline(t *testing.T) {
+	b := task.NewBuilder(2, 2)
+	b.Step("s")
+	h := b.Compute(0, fheop.Of(fheop.Rotation, 1), 18, "A")
+	recvs := b.Send(0, h, []int{1}, 100, "x")
+	b.ComputeAfterRecv(1, recvs[0], fheop.Of(fheop.HAdd, 1), 18, "B")
+	stats := execute(t, b.Build(), Options{})
+	if stats.ComputeTasks != 2 || stats.Sends != 1 || stats.Receives != 1 || stats.BytesMoved != 100 {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+func TestComputeOrderAndDependences(t *testing.T) {
+	// Card 1's dependent task must observe card 0's result.
+	b := task.NewBuilder(2, 2)
+	b.Step("s")
+	h := b.Compute(0, fheop.Of(fheop.Rotation, 1), 18, "produce")
+	recvs := b.Send(0, h, []int{1}, 1, "x")
+	b.ComputeAfterRecv(1, recvs[0], fheop.Of(fheop.HAdd, 1), 18, "consume")
+
+	var produced, consumedAfterProduce atomic.Bool
+	execute(t, b.Build(), Options{
+		OnCompute: func(card int, c task.Compute) error {
+			switch c.Label {
+			case "produce":
+				produced.Store(true)
+			case "consume":
+				consumedAfterProduce.Store(produced.Load())
+			}
+			return nil
+		},
+	})
+	if !consumedAfterProduce.Load() {
+		t.Fatal("CAR task ran before its producer")
+	}
+}
+
+func TestStepBarrierOrdering(t *testing.T) {
+	// All step-one tasks complete before any step-two task starts.
+	b := task.NewBuilder(4, 4)
+	b.Step("one")
+	for c := 0; c < 4; c++ {
+		b.Compute(c, fheop.Of(fheop.HAdd, 1), 18, "one")
+	}
+	b.Step("two")
+	for c := 0; c < 4; c++ {
+		b.Compute(c, fheop.Of(fheop.HAdd, 1), 18, "two")
+	}
+	var oneDone atomic.Int32
+	var violation atomic.Bool
+	execute(t, b.Build(), Options{
+		OnCompute: func(card int, c task.Compute) error {
+			switch c.Label {
+			case "one":
+				oneDone.Add(1)
+			case "two":
+				if oneDone.Load() != 4 {
+					violation.Store(true)
+				}
+			}
+			return nil
+		},
+	})
+	if violation.Load() {
+		t.Fatal("step barrier violated")
+	}
+}
+
+func TestBroadcastDeliversToAll(t *testing.T) {
+	b := task.NewBuilder(8, 8)
+	b.Step("s")
+	h := b.Compute(0, fheop.Of(fheop.Rotation, 1), 18, "A")
+	b.Send(0, h, []int{1, 2, 3, 4, 5, 6, 7}, 10, "bc")
+	stats := execute(t, b.Build(), Options{})
+	if stats.Receives != 7 || stats.BytesMoved != 70 {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+func TestMappedProgramsExecute(t *testing.T) {
+	// Real mapping-generated programs (conv ring broadcast, BSGS mat-vec,
+	// Algorithm 1 and a cooperative bootstrap) must run to completion under
+	// the concurrent Procedure 1 engines — deadlock-freedom by execution.
+	scheme := hw.PaperScheme()
+	emit := []struct {
+		name string
+		fn   func(*mapping.Context) error
+	}{
+		{"conv", func(c *mapping.Context) error {
+			return c.DistributeBroadcast(64, mapping.ConvBNUnit, 8, "ConvBN")
+		}},
+		{"gather", func(c *mapping.Context) error {
+			return c.DistributeGather(64, mapping.ConvBNUnit, 8, "ConvBN")
+		}},
+		{"matvec", func(c *mapping.Context) error {
+			return c.MatVec(mapping.MatVecOptions{BS: 4, GS: 32}, "FC")
+		}},
+		{"matvec-star", func(c *mapping.Context) error {
+			return c.MatVec(mapping.MatVecOptions{BS: 4, GS: 32, StarAggregation: true}, "FC")
+		}},
+		{"matvec-distbs", func(c *mapping.Context) error {
+			return c.MatVec(mapping.MatVecOptions{BS: 8, GS: 32, DistributedBS: true}, "FC")
+		}},
+		{"poly", func(c *mapping.Context) error {
+			return c.PolyEval(59, "ReLU")
+		}},
+		{"boot", func(c *mapping.Context) error {
+			times := mapping.OpTimesFor(hw.HydraCard(), scheme, 25, 1e-3)
+			opts := mapping.DefaultBootstrapOptions(scheme, len(c.Cards), times)
+			return c.Bootstrap(opts, "Boot")
+		}},
+	}
+	for _, e := range emit {
+		for _, cards := range []int{2, 8} {
+			b := task.NewBuilder(cards, cards)
+			ctx := mapping.NewContext(b, scheme, cards)
+			if err := e.fn(ctx); err != nil {
+				t.Fatalf("%s/%d: %v", e.name, cards, err)
+			}
+			p := b.Build()
+			stats := execute(t, p, Options{})
+			if stats.ComputeTasks == 0 {
+				t.Fatalf("%s/%d: nothing executed", e.name, cards)
+			}
+			want := p.TotalBytes()
+			if stats.BytesMoved != want {
+				t.Fatalf("%s/%d: moved %g bytes, want %g", e.name, cards, stats.BytesMoved, want)
+			}
+		}
+	}
+}
+
+func TestComputeErrorAborts(t *testing.T) {
+	b := task.NewBuilder(2, 2)
+	b.Step("s")
+	h := b.Compute(0, fheop.Of(fheop.Rotation, 1), 18, "A")
+	recvs := b.Send(0, h, []int{1}, 1, "x")
+	b.ComputeAfterRecv(1, recvs[0], fheop.Of(fheop.HAdd, 1), 18, "B")
+	boom := errors.New("boom")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, err := Execute(ctx, b.Build(), Options{
+		OnCompute: func(card int, c task.Compute) error {
+			if c.Label == "A" {
+				return boom
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want wrapped boom", err)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	// A receive with no matching send never completes; the context timeout
+	// surfaces it as an abort. Build the broken program by corrupting a
+	// valid one after construction — Validate would otherwise refuse it, so
+	// bypass Execute's validation path via a send whose compute never runs:
+	// instead, craft a circular wait: card 0 computes after recv from 1,
+	// card 1 sends only after its own compute which waits on recv from 0.
+	b := task.NewBuilder(2, 2)
+	b.Step("s")
+	// Card 0: recv r0 (from 1) gates compute c0; send s0 (after c0) to 1.
+	// Card 1: recv r1 (from 0) gates compute c1; send s1 (after c1) to 0.
+	// Emission order requires handles; build manually below.
+	h0 := b.Compute(0, fheop.Of(fheop.HAdd, 1), 18, "c0") // placeholder, rewired below
+	h1 := b.Compute(1, fheop.Of(fheop.HAdd, 1), 18, "c1")
+	r0 := b.Send(1, h1, []int{0}, 1, "s1") // recv index on card 0
+	r1 := b.Send(0, h0, []int{1}, 1, "s0") // recv index on card 1
+	p := b.Build()
+	// Rewire: c0 waits on r0 (s1's data), c1 waits on r1 (s0's data) — a
+	// cycle: c0 → s0 → r1 → c1 → s1 → r0 → c0.
+	p.Steps[0].Compute[0][0].WaitRecv = r0[0]
+	p.Steps[0].Compute[1][0].WaitRecv = r1[0]
+
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	_, err := Execute(ctx, p, Options{})
+	if err == nil {
+		t.Fatal("expected deadlock abort")
+	}
+}
+
+func TestStatsAccumulateAcrossSteps(t *testing.T) {
+	b := task.NewBuilder(2, 2)
+	b.Step("one")
+	h := b.Compute(0, fheop.Of(fheop.HAdd, 1), 18, "A")
+	b.Send(0, h, []int{1}, 5, "x")
+	b.Step("two")
+	h2 := b.Compute(1, fheop.Of(fheop.HAdd, 1), 18, "B")
+	b.Send(1, h2, []int{0}, 7, "y")
+	stats := execute(t, b.Build(), Options{})
+	if stats.Sends != 2 || stats.BytesMoved != 12 {
+		t.Fatalf("stats %+v", stats)
+	}
+}

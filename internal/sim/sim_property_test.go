@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hydra/internal/fheop"
+	"hydra/internal/task"
+)
+
+// randomValidProgram builds a structurally valid program (same generator
+// family as the isa package's) to property-test the scheduler.
+func randomValidProgram(seed int64) *task.Program {
+	rng := rand.New(rand.NewSource(seed))
+	cards := 1 + rng.Intn(6)
+	b := task.NewBuilder(cards, cards)
+	steps := 1 + rng.Intn(3)
+	for s := 0; s < steps; s++ {
+		b.Step("s")
+		lastCompute := make(map[int]task.Handle)
+		nTasks := 1 + rng.Intn(12)
+		for i := 0; i < nTasks; i++ {
+			card := rng.Intn(cards)
+			if rng.Intn(3) > 0 || len(lastCompute) == 0 || cards == 1 {
+				ops := fheop.Of(fheop.Op(rng.Intn(int(fheop.Rotation)+1)), 1+rng.Intn(5))
+				lastCompute[card] = b.Compute(card, ops, 1+rng.Intn(28), "L")
+				continue
+			}
+			var from int
+			for c := range lastCompute {
+				from = c
+				break
+			}
+			var dsts []int
+			for c := 0; c < cards; c++ {
+				if c != from && rng.Intn(2) == 0 {
+					dsts = append(dsts, c)
+				}
+			}
+			if len(dsts) == 0 {
+				dsts = []int{(from + 1) % cards}
+			}
+			recvs := b.Send(from, lastCompute[from], dsts, float64(1+rng.Intn(1e7)), "x")
+			if rng.Intn(2) == 0 {
+				dst := dsts[0]
+				lastCompute[dst] = b.ComputeAfterRecv(dst, recvs[0], fheop.Of(fheop.HAdd, 1), 1+rng.Intn(28), "L")
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestSchedulerInvariants(t *testing.T) {
+	for _, overlap := range []bool{true, false} {
+		cfg := HydraConfig()
+		if !overlap {
+			cfg = FABConfig()
+			cfg.Overlap = false
+		}
+		f := func(seed int64) bool {
+			p := randomValidProgram(seed)
+			res, err := Run(p, cfg)
+			if err != nil {
+				return false
+			}
+			// Makespan covers the busiest card's computation.
+			if res.Makespan+1e-12 < res.MaxComputeBusy() {
+				return false
+			}
+			// Step spans sum to the makespan (barrier semantics).
+			sum := 0.0
+			for _, st := range res.Steps {
+				if st.Span < 0 {
+					return false
+				}
+				sum += st.Span
+			}
+			if diff := sum - res.Makespan; diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+			// Op totals match the program.
+			if res.OpTotals != p.TotalOps() {
+				return false
+			}
+			// Bytes match.
+			if res.BytesSent != p.TotalBytes() {
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+			t.Fatalf("overlap=%v: %v", overlap, err)
+		}
+	}
+}
+
+func TestSchedulerDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		p := randomValidProgram(seed)
+		a, err := Run(p, HydraConfig())
+		if err != nil {
+			return false
+		}
+		b, err := Run(p, HydraConfig())
+		if err != nil {
+			return false
+		}
+		return a.Makespan == b.Makespan && a.BytesSent == b.BytesSent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverlapNeverSlower(t *testing.T) {
+	// With identical cards and network, the full-duplex DTU machine is never
+	// slower than the serialized one.
+	f := func(seed int64) bool {
+		p := randomValidProgram(seed)
+		with := HydraConfig()
+		without := HydraConfig()
+		without.Overlap = false
+		a, err := Run(p, with)
+		if err != nil {
+			return false
+		}
+		b, err := Run(p, without)
+		if err != nil {
+			return false
+		}
+		return a.Makespan <= b.Makespan+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
