@@ -1,0 +1,37 @@
+# Hydra reproduction — build/test entry points.
+#
+# `make ci` is the gate used before merging: vet + race-detector run over the
+# concurrency-bearing packages (worker pool, evaluator, runtime, cluster),
+# then the full tier-1 suite.
+
+GO ?= go
+
+.PHONY: all build test race ci bench fuzz golden-update
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector run of the limb pool, the evaluator that fans work onto it,
+# and the goroutine-card runtimes that nest it (includes the differential
+# parallel-vs-serial harness).
+race:
+	$(GO) test -race ./internal/ring/... ./internal/ckks/... ./internal/runtime/... ./internal/cluster/...
+
+ci:
+	sh scripts/ci.sh
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# Short fuzz pass over the ISA task-program decoder.
+fuzz:
+	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=20s ./internal/isa/
+
+# Regenerate the experiment golden snapshots after an intentional change.
+golden-update:
+	$(GO) test ./internal/experiments/ -run TestGolden -update

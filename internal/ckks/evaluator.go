@@ -102,22 +102,24 @@ func (ev *Evaluator) RaiseModulus(ct *Ciphertext) *Ciphertext {
 	out := &Ciphertext{C0: r.NewPoly(top), C1: r.NewPoly(top), Scale: ct.Scale}
 	q0 := r.Moduli[0]
 	half := q0 >> 1
-	for comp, pair := range [][2]*ring.Poly{{ct.C0, out.C0}, {ct.C1, out.C1}} {
-		_ = comp
-		src := pair[0].CopyNew()
+	for _, pair := range [][2]*ring.Poly{{ct.C0, out.C0}, {ct.C1, out.C1}} {
+		src := r.GetScratch(0)
+		src.Copy(pair[0])
 		r.INTT(src)
 		coeffs := src.Coeffs[0]
 		dst := pair[1]
-		for j, c := range coeffs {
-			for i := 0; i <= top; i++ {
-				qi := r.Moduli[i]
+		ring.ForEachLimb(top+1, func(i int) {
+			qi := r.Moduli[i]
+			row := dst.Coeffs[i]
+			for j, c := range coeffs {
 				if c <= half {
-					dst.Coeffs[i][j] = c % qi
+					row[j] = c % qi
 				} else {
-					dst.Coeffs[i][j] = ring.NegMod((q0-c)%qi, qi)
+					row[j] = ring.NegMod((q0-c)%qi, qi)
 				}
 			}
-		}
+		})
+		r.PutScratch(src)
 		dst.IsNTT = false
 		r.NTT(dst)
 	}
@@ -148,7 +150,7 @@ func (ev *Evaluator) AddConst(ct *Ciphertext, c float64) *Ciphertext {
 	// A constant polynomial k has NTT image k in every position.
 	neg := c < 0
 	k := uint64(math.Round(math.Abs(c) * ct.Scale))
-	for i := 0; i <= out.Level(); i++ {
+	ring.ForEachLimb(out.Level()+1, func(i int) {
 		q := r.Moduli[i]
 		kq := k % q
 		if neg {
@@ -158,7 +160,7 @@ func (ev *Evaluator) AddConst(ct *Ciphertext, c float64) *Ciphertext {
 		for j := range row {
 			row[j] = ring.AddMod(row[j], kq, q)
 		}
-	}
+	})
 	return out
 }
 
@@ -198,7 +200,7 @@ func (ev *Evaluator) MulByConstWithScale(ct *Ciphertext, c, scale float64) *Ciph
 		outScale = ct.Scale * float64(k) / math.Abs(c)
 	}
 	out := &Ciphertext{C0: r.NewPoly(ct.Level()), C1: r.NewPoly(ct.Level()), Scale: outScale}
-	for i := 0; i <= ct.Level(); i++ {
+	ring.ForEachLimb(ct.Level()+1, func(i int) {
 		q := r.Moduli[i]
 		kq := k % q
 		if neg {
@@ -211,7 +213,7 @@ func (ev *Evaluator) MulByConstWithScale(ct *Ciphertext, c, scale float64) *Ciph
 			dst0[j] = ring.MulModShoup(src0[j], kq, ks, q)
 			dst1[j] = ring.MulModShoup(src1[j], kq, ks, q)
 		}
-	}
+	})
 	out.C0.IsNTT = true
 	out.C1.IsNTT = true
 	return out
@@ -229,15 +231,17 @@ func (ev *Evaluator) MulRelin(a, b *Ciphertext) *Ciphertext {
 
 	d0 := r.NewPoly(lvl)
 	d1 := r.NewPoly(lvl)
-	d2 := r.NewPoly(lvl)
-	tmp := r.NewPoly(lvl)
+	d2 := r.GetScratch(lvl)
+	tmp := r.GetScratch(lvl)
 	r.MulCoeffs(a.C0, b.C0, d0)
 	r.MulCoeffs(a.C0, b.C1, d1)
 	r.MulCoeffs(a.C1, b.C0, tmp)
 	r.Add(d1, tmp, d1)
 	r.MulCoeffs(a.C1, b.C1, d2)
+	r.PutScratch(tmp)
 
 	ks0, ks1 := ev.keySwitch(d2, ev.rlk.Key)
+	r.PutScratch(d2)
 	r.Add(d0, ks0, d0)
 	r.Add(d1, ks1, d1)
 	return &Ciphertext{C0: d0, C1: d1, Scale: a.Scale * b.Scale}
@@ -267,11 +271,12 @@ func (ev *Evaluator) divRoundByModulus(p *ring.Poly, top int) *ring.Poly {
 	qLast := r.Moduli[top]
 	qLastInv := func(qj uint64) uint64 { return ring.InvMod(qLast%qj, qj) }
 
-	work := p.CopyNew()
+	work := r.GetScratch(top)
+	work.Copy(p)
 	r.INTT(work)
 	out := r.NewPoly(top - 1)
 	half := qLast >> 1
-	for j := 0; j < top; j++ {
+	ring.ForEachLimb(top, func(j int) {
 		qj := r.Moduli[j]
 		inv := qLastInv(qj)
 		invShoup := ring.ShoupPrecomp(inv, qj)
@@ -288,7 +293,8 @@ func (ev *Evaluator) divRoundByModulus(p *ring.Poly, top int) *ring.Poly {
 			}
 			dst[t] = ring.MulModShoup(ring.SubMod(src[t], rr, qj), inv, invShoup, qj)
 		}
-	}
+	})
+	r.PutScratch(work)
 	r.NTT(out)
 	return out
 }
@@ -341,14 +347,17 @@ type hoistedDecomp struct {
 	digits [][][]uint64 // [digit][row][coefficient], NTT domain
 }
 
-// decomposeExt computes the hoisted decomposition of d (NTT domain).
+// decomposeExt computes the hoisted decomposition of d (NTT domain). The
+// digit rows come from the ring's row pool; callers release them with
+// h.release once the decomposition is consumed.
 func (ev *Evaluator) decomposeExt(d *ring.Poly) *hoistedDecomp {
 	r := ev.params.RingQP()
 	lvl := d.Level()
 	n := r.N
 	pIdx := ev.params.SpecialIndex()
 
-	dCoeff := d.CopyNew()
+	dCoeff := r.GetScratch(lvl)
+	dCoeff.Copy(d)
 	r.INTT(dCoeff)
 
 	h := &hoistedDecomp{lvl: lvl, modIdx: make([]int, lvl+2)}
@@ -358,12 +367,12 @@ func (ev *Evaluator) decomposeExt(d *ring.Poly) *hoistedDecomp {
 	h.modIdx[lvl+1] = pIdx
 
 	h.digits = make([][][]uint64, lvl+1)
-	for i := 0; i <= lvl; i++ {
+	ring.ForEachLimb(lvl+1, func(i int) {
 		digit := dCoeff.Coeffs[i]
 		rows := make([][]uint64, lvl+2)
 		for jj, tblIdx := range h.modIdx {
 			qj := r.Moduli[tblIdx]
-			ext := make([]uint64, n)
+			ext := r.GetRow()
 			if tblIdx == i {
 				copy(ext, digit)
 			} else {
@@ -375,26 +384,39 @@ func (ev *Evaluator) decomposeExt(d *ring.Poly) *hoistedDecomp {
 			rows[jj] = ext
 		}
 		h.digits[i] = rows
-	}
+	})
+	r.PutScratch(dCoeff)
 	return h
+}
+
+// release returns every digit row to the ring's row pool. The decomposition
+// must not be used afterwards.
+func (h *hoistedDecomp) release(r *ring.Ring) {
+	for _, rows := range h.digits {
+		for _, row := range rows {
+			r.PutRow(row)
+		}
+	}
+	h.digits = nil
 }
 
 // permute returns the decomposition of τ_k(d) given the decomposition of d:
 // the automorphism is a coefficient permutation, so it commutes with digit
 // decomposition and acts as the NTT-domain index permutation on every row.
-func (h *hoistedDecomp) permute(perm []int) *hoistedDecomp {
+func (h *hoistedDecomp) permute(r *ring.Ring, perm []int) *hoistedDecomp {
 	out := &hoistedDecomp{lvl: h.lvl, modIdx: h.modIdx, digits: make([][][]uint64, len(h.digits))}
-	for i, rows := range h.digits {
+	ring.ForEachLimb(len(h.digits), func(i int) {
+		rows := h.digits[i]
 		newRows := make([][]uint64, len(rows))
 		for j, row := range rows {
-			nr := make([]uint64, len(row))
+			nr := r.GetRow()
 			for t := range nr {
 				nr[t] = row[perm[t]]
 			}
 			newRows[j] = nr
 		}
 		out.digits[i] = newRows
-	}
+	})
 	return out
 }
 
@@ -405,27 +427,32 @@ func (ev *Evaluator) ksFromDecomp(h *hoistedDecomp, swk *SwitchingKey) (out0, ou
 	n := r.N
 	acc0 := make([][]uint64, h.lvl+2)
 	acc1 := make([][]uint64, h.lvl+2)
-	for j := range acc0 {
-		acc0[j] = make([]uint64, n)
-		acc1[j] = make([]uint64, n)
-	}
-	for i := 0; i <= h.lvl; i++ {
-		for jj, tblIdx := range h.modIdx {
-			qj := r.Moduli[tblIdx]
-			m := r.Tables[tblIdx].Mod
+	// Each accumulator row jj is independent: it folds every digit i over
+	// the same modulus, so the digit order (and hence the bit pattern) is
+	// preserved while rows run on parallel lanes.
+	ring.ForEachLimb(h.lvl+2, func(jj int) {
+		tblIdx := h.modIdx[jj]
+		qj := r.Moduli[tblIdx]
+		m := r.Tables[tblIdx].Mod
+		a0 := r.GetRow()
+		a1 := r.GetRow()
+		for i := 0; i <= h.lvl; i++ {
 			ext := h.digits[i][jj]
 			kb := swk.DigitsB[i].Coeffs[tblIdx]
 			ka := swk.DigitsA[i].Coeffs[tblIdx]
-			a0 := acc0[jj]
-			a1 := acc1[jj]
 			for t := 0; t < n; t++ {
 				a0[t] = ring.AddMod(a0[t], m.MulModBarrett(ext[t], kb[t]), qj)
 				a1[t] = ring.AddMod(a1[t], m.MulModBarrett(ext[t], ka[t]), qj)
 			}
 		}
-	}
+		acc0[jj], acc1[jj] = a0, a1
+	})
 	out0 = ev.modDownP(acc0, h.modIdx, h.lvl)
 	out1 = ev.modDownP(acc1, h.modIdx, h.lvl)
+	for jj := range acc0 {
+		r.PutRow(acc0[jj])
+		r.PutRow(acc1[jj])
+	}
 	return out0, out1
 }
 
@@ -437,7 +464,10 @@ func (ev *Evaluator) ksFromDecomp(h *hoistedDecomp, swk *SwitchingKey) (out0, ou
 // each residue of d is a digit; digits are extended to all active moduli plus
 // P, multiplied against the key, accumulated, and the result divided by P.
 func (ev *Evaluator) keySwitch(d *ring.Poly, swk *SwitchingKey) (out0, out1 *ring.Poly) {
-	return ev.ksFromDecomp(ev.decomposeExt(d), swk)
+	h := ev.decomposeExt(d)
+	out0, out1 = ev.ksFromDecomp(h, swk)
+	h.release(ev.params.RingQP())
+	return out0, out1
 }
 
 // RotateHoisted rotates ct by every index in rots, decomposing the
@@ -470,11 +500,16 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, rots []int) map[int]*Cipherte
 			h = ev.decomposeExt(ct.C1)
 		}
 		perm := ring.AutomorphismNTTIndex(r.N, k)
-		ks0, ks1 := ev.ksFromDecomp(h.permute(perm), swk)
+		hp := h.permute(r, perm)
+		ks0, ks1 := ev.ksFromDecomp(hp, swk)
+		hp.release(r)
 		rc0 := r.NewPoly(lvl)
 		r.AutomorphismNTT(ct.C0, perm, rc0)
 		r.Add(rc0, ks0, rc0)
 		out[rot] = &Ciphertext{C0: rc0, C1: ks1, Scale: ct.Scale}
+	}
+	if h != nil {
+		h.release(r)
 	}
 	return out
 }
@@ -487,13 +522,13 @@ func (ev *Evaluator) modDownP(acc [][]uint64, modIdx []int, lvl int) *ring.Poly 
 	half := p >> 1
 
 	// Bring all rows to the coefficient domain.
-	for j, tblIdx := range modIdx {
-		r.Tables[tblIdx].Inverse(acc[j])
-	}
+	ring.ForEachLimb(len(modIdx), func(j int) {
+		r.Tables[modIdx[j]].Inverse(acc[j])
+	})
 	rem := acc[lvl+1] // residue mod P
 
 	out := r.NewPoly(lvl)
-	for j := 0; j <= lvl; j++ {
+	ring.ForEachLimb(lvl+1, func(j int) {
 		qj := r.Moduli[j]
 		inv := ev.pInvModQi[j]
 		invShoup := ring.ShoupPrecomp(inv, qj)
@@ -508,7 +543,7 @@ func (ev *Evaluator) modDownP(acc [][]uint64, modIdx []int, lvl int) *ring.Poly 
 			}
 			dst[t] = ring.MulModShoup(ring.SubMod(src[t], rr, qj), inv, invShoup, qj)
 		}
-	}
+	})
 	r.NTT(out)
 	return out
 }

@@ -13,6 +13,14 @@
 // Section III mappings end-to-end: a ring-broadcast convolution layer and a
 // distributed BSGS matrix-vector product computed by 4 cards decrypt to the
 // same values as their single-card execution.
+//
+// Concurrency: cards are plain goroutines (they must be, since a card can
+// block on a switch receive while its peer computes), but the CKKS ops they
+// execute fan RNS-limb work out through the single global worker pool in
+// internal/ring. The pool's slot acquisition is non-blocking and the calling
+// card always participates, so nesting cards × limbs stays bounded by
+// ring.MaxWorkers (GOMAXPROCS by default) and cannot deadlock; a saturated
+// pool simply degrades card-local limb work to inline execution.
 package cluster
 
 import (

@@ -248,20 +248,17 @@ func (bt *Bootstrapper) Bootstrap(ct *ckks.Ciphertext) (*ckks.Ciphertext, error)
 	raised := eval.RaiseModulus(ct)
 
 	// CoeffToSlot: u0 holds the first coefficient half over q0, u1 the second.
+	// The four transforms (and later the two sine branches and the two
+	// SlotToCoeff transforms) are independent, mirroring the multi-card C2S
+	// mapping of Section III-B: they run concurrently on the shared pool.
 	conj := eval.Conjugate(raised)
-	pz, err := bt.ltP.EvaluateBSGS(eval, bt.enc, raised, bt.bs)
-	if err != nil {
-		return nil, err
-	}
-	qz, err := bt.ltQ.EvaluateBSGS(eval, bt.enc, conj, bt.bs)
-	if err != nil {
-		return nil, err
-	}
-	rz, err := bt.ltR.EvaluateBSGS(eval, bt.enc, raised, bt.bs)
-	if err != nil {
-		return nil, err
-	}
-	sz, err := bt.ltS.EvaluateBSGS(eval, bt.enc, conj, bt.bs)
+	var pz, qz, rz, sz *ckks.Ciphertext
+	err := runConcurrent(
+		func() (err error) { pz, err = bt.ltP.EvaluateBSGS(eval, bt.enc, raised, bt.bs); return },
+		func() (err error) { qz, err = bt.ltQ.EvaluateBSGS(eval, bt.enc, conj, bt.bs); return },
+		func() (err error) { rz, err = bt.ltR.EvaluateBSGS(eval, bt.enc, raised, bt.bs); return },
+		func() (err error) { sz, err = bt.ltS.EvaluateBSGS(eval, bt.enc, conj, bt.bs); return },
+	)
 	if err != nil {
 		return nil, err
 	}
@@ -269,21 +266,21 @@ func (bt *Bootstrapper) Bootstrap(ct *ckks.Ciphertext) (*ckks.Ciphertext, error)
 	u1 := eval.Add(rz, sz)
 
 	// EvaExp + double-angle: w ≈ sin(2π u).
-	w0, err := bt.evalSine(u0)
-	if err != nil {
-		return nil, err
-	}
-	w1, err := bt.evalSine(u1)
+	var w0, w1 *ckks.Ciphertext
+	err = runConcurrent(
+		func() (err error) { w0, err = bt.evalSine(u0); return },
+		func() (err error) { w1, err = bt.evalSine(u1); return },
+	)
 	if err != nil {
 		return nil, err
 	}
 
 	// SlotToCoeff with the q0/(2π) correction folded in.
-	z0, err := bt.ltA.EvaluateBSGS(eval, bt.enc, w0, bt.bs)
-	if err != nil {
-		return nil, err
-	}
-	z1, err := bt.ltB.EvaluateBSGS(eval, bt.enc, w1, bt.bs)
+	var z0, z1 *ckks.Ciphertext
+	err = runConcurrent(
+		func() (err error) { z0, err = bt.ltA.EvaluateBSGS(eval, bt.enc, w0, bt.bs); return },
+		func() (err error) { z1, err = bt.ltB.EvaluateBSGS(eval, bt.enc, w1, bt.bs); return },
+	)
 	if err != nil {
 		return nil, err
 	}

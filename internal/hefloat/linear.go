@@ -11,9 +11,30 @@ package hefloat
 
 import (
 	"fmt"
+	"sort"
 
 	"hydra/internal/ckks"
+	"hydra/internal/ring"
 )
+
+// runConcurrent executes independent ciphertext-level tasks on the shared
+// limb-pool (see internal/ring), returning the first error. Results are
+// written to caller-owned slots, so completion order never affects output.
+func runConcurrent(fns ...func() error) error {
+	errs := make([]error, len(fns))
+	tasks := make([]func(), len(fns))
+	for i, fn := range fns {
+		i, fn := i, fn
+		tasks[i] = func() { errs[i] = fn() }
+	}
+	ring.RunTasks(tasks...)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // LinearTransform is a plaintext square matrix held in diagonal form:
 // Diags[d][j] = M[j][(j+d) mod dim]. Only non-zero diagonals are stored.
@@ -89,14 +110,33 @@ func (lt *LinearTransform) RotationsBSGS(bs int) []int {
 // wrap correctly (Dim must divide the slot count and the caller must have
 // replicated the vector; for Dim == slots no replication is needed).
 func (lt *LinearTransform) Evaluate(eval *ckks.Evaluator, enc *ckks.Encoder, ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
-	var acc *ckks.Ciphertext
-	for d, diag := range lt.Diags {
-		rotated := eval.Rotate(ct, d)
-		pt, err := enc.EncodeAtLevel(diag, eval.Params().DefaultScale(), rotated.Level())
-		if err != nil {
-			return nil, err
+	// Diagonals are independent rotate-multiply units (one parallel unit
+	// each in the paper's Table I recipe); run them concurrently and fold
+	// in sorted order for bit-determinism.
+	ds := make([]int, 0, len(lt.Diags))
+	for d := range lt.Diags {
+		ds = append(ds, d)
+	}
+	sort.Ints(ds)
+	terms := make([]*ckks.Ciphertext, len(ds))
+	fns := make([]func() error, len(ds))
+	for di, d := range ds {
+		di, d := di, d
+		fns[di] = func() error {
+			rotated := eval.Rotate(ct, d)
+			pt, err := enc.EncodeAtLevel(lt.Diags[d], eval.Params().DefaultScale(), rotated.Level())
+			if err != nil {
+				return err
+			}
+			terms[di] = eval.MulPlain(rotated, pt)
+			return nil
 		}
-		term := eval.MulPlain(rotated, pt)
+	}
+	if err := runConcurrent(fns...); err != nil {
+		return nil, err
+	}
+	var acc *ckks.Ciphertext
+	for _, term := range terms {
 		if acc == nil {
 			acc = term
 		} else {
@@ -137,33 +177,55 @@ func (lt *LinearTransform) EvaluateBSGS(eval *ckks.Evaluator, enc *ckks.Encoder,
 	baby := eval.RotateHoisted(ct, rotList)
 	babyOf := func(j int) *ckks.Ciphertext { return baby[j] }
 
+	// Giant steps are independent: evaluate them concurrently on the shared
+	// pool and fold the per-group results in sorted order, so parallel and
+	// serial execution produce bit-identical ciphertexts.
+	gs := make([]int, 0, len(groups))
+	for g := range groups {
+		gs = append(gs, g)
+	}
+	sort.Ints(gs)
+	inners := make([]*ckks.Ciphertext, len(gs))
+	fns := make([]func() error, len(gs))
+	for gi, g := range gs {
+		gi, g := gi, g
+		fns[gi] = func() error {
+			ds := append([]int(nil), groups[g]...)
+			sort.Ints(ds)
+			// inner = Σ_j diag_{g+j} rotated by -g, times baby_j.
+			var inner *ckks.Ciphertext
+			for _, d := range ds {
+				j := d - g
+				diag := lt.Diags[d]
+				// Pre-rotate the diagonal right by g so the single giant-step
+				// rotation at the end lands it correctly.
+				shifted := make([]complex128, lt.Dim)
+				for t := 0; t < lt.Dim; t++ {
+					shifted[t] = diag[(t+lt.Dim-g%lt.Dim)%lt.Dim]
+				}
+				pt, err := enc.EncodeAtLevel(shifted, eval.Params().DefaultScale(), ct.Level())
+				if err != nil {
+					return err
+				}
+				term := eval.MulPlain(babyOf(j), pt)
+				if inner == nil {
+					inner = term
+				} else {
+					inner = eval.Add(inner, term)
+				}
+			}
+			if g != 0 {
+				inner = eval.Rotate(inner, g)
+			}
+			inners[gi] = inner
+			return nil
+		}
+	}
+	if err := runConcurrent(fns...); err != nil {
+		return nil, err
+	}
 	var acc *ckks.Ciphertext
-	for g, ds := range groups {
-		// inner = Σ_j diag_{g+j} rotated by -g, times baby_j.
-		var inner *ckks.Ciphertext
-		for _, d := range ds {
-			j := d - g
-			diag := lt.Diags[d]
-			// Pre-rotate the diagonal right by g so the single giant-step
-			// rotation at the end lands it correctly.
-			shifted := make([]complex128, lt.Dim)
-			for t := 0; t < lt.Dim; t++ {
-				shifted[t] = diag[(t+lt.Dim-g%lt.Dim)%lt.Dim]
-			}
-			pt, err := enc.EncodeAtLevel(shifted, eval.Params().DefaultScale(), ct.Level())
-			if err != nil {
-				return nil, err
-			}
-			term := eval.MulPlain(babyOf(j), pt)
-			if inner == nil {
-				inner = term
-			} else {
-				inner = eval.Add(inner, term)
-			}
-		}
-		if g != 0 {
-			inner = eval.Rotate(inner, g)
-		}
+	for _, inner := range inners {
 		if acc == nil {
 			acc = inner
 		} else {

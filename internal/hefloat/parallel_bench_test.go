@@ -1,0 +1,42 @@
+package hefloat
+
+import (
+	"math"
+	"testing"
+
+	"hydra/internal/ring"
+)
+
+// BenchmarkBootstrapSmall times a full bootstrap at the small test parameter
+// set (LogN 9, 17-level chain) in forced-serial and default-parallel pool
+// modes. Bootstrapping exercises every parallelized path at once: the BSGS
+// linear transforms, hoisted rotations, keyswitching, rescaling, and the
+// concurrent C2S/S2C branch evaluation.
+func BenchmarkBootstrapSmall(b *testing.B) {
+	params, enc, encr, _, _, bt := bootEnv(b)
+	vals := make([]complex128, params.Slots())
+	for i := range vals {
+		vals[i] = complex(0.4*math.Sin(float64(i)), 0.3*math.Cos(float64(i)/2))
+	}
+	pt, err := enc.EncodeAtLevel(vals, params.DefaultScale(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct := encr.Encrypt(pt)
+	for _, mode := range []struct {
+		name   string
+		serial bool
+	}{{"serial", true}, {"parallel", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			ring.SetSerial(mode.serial)
+			defer ring.SetSerial(false)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := bt.Bootstrap(ct); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

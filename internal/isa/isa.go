@@ -88,6 +88,11 @@ func (r *reader) f64() (float64, error) {
 	}
 	v := math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off:]))
 	r.off += 8
+	// Both floats on the wire (EnergyScale, Bytes) are physical quantities;
+	// NaN or ±Inf can only come from corruption.
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("isa: non-finite float at offset %d", r.off-8)
+	}
 	return v, nil
 }
 
@@ -192,6 +197,11 @@ func Unmarshal(data []byte) (*task.Program, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Every encoded label costs at least one byte, so a count exceeding the
+	// remaining input is corrupt — reject before allocating for it.
+	if nLabels > uint64(len(r.buf)-r.off) {
+		return nil, fmt.Errorf("isa: label count %d exceeds input size", nLabels)
+	}
 	labels := make([]string, nLabels)
 	for i := range labels {
 		b, err := r.bytes()
@@ -211,6 +221,9 @@ func Unmarshal(data []byte) (*task.Program, error) {
 	if err != nil {
 		return nil, err
 	}
+	if nSteps > uint64(len(r.buf)-r.off) {
+		return nil, fmt.Errorf("isa: step count %d exceeds input size", nSteps)
+	}
 	p := &task.Program{Cards: int(cards64), CardsPerServer: int(cps64)}
 	for s := uint64(0); s < nSteps; s++ {
 		nameIdx, err := r.uvarint()
@@ -220,6 +233,11 @@ func Unmarshal(data []byte) (*task.Program, error) {
 		name, err := label(nameIdx)
 		if err != nil {
 			return nil, err
+		}
+		// Each card contributes at least two count varints per step; refuse
+		// to allocate per-card queues the input cannot possibly back.
+		if len(r.buf)-r.off < 2*p.Cards {
+			return nil, fmt.Errorf("isa: truncated step %d at offset %d", s, r.off)
 		}
 		st := &task.Step{
 			Name:    name,

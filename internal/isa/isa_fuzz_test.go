@@ -1,0 +1,62 @@
+package isa
+
+// Fuzz harness for the task-program wire format. The decoder is the trust
+// boundary between the host scheduler and whatever bytes arrive on disk or
+// over the wire, so it must never panic on corrupted input, and every buffer
+// it does accept must survive a Marshal→Unmarshal round trip unchanged.
+
+import (
+	"testing"
+
+	"hydra/internal/fheop"
+	"hydra/internal/task"
+)
+
+func FuzzUnmarshal(f *testing.F) {
+	// Seed with valid encodings of varied shapes so the fuzzer starts from
+	// deep in the format rather than flailing at the magic check.
+	seeds := []*task.Program{sampleProgram()}
+
+	b := task.NewBuilder(1, 1)
+	b.Step("solo")
+	b.Compute(0, fheop.Of(fheop.HAdd, 1), 1, "solo")
+	seeds = append(seeds, b.Build())
+
+	b = task.NewBuilder(2, 2)
+	b.Step("ping")
+	h := b.Compute(0, fheop.Of(fheop.CMult, 1), 4, "ping")
+	r := b.Send(0, h, []int{1}, 1e6, "ping")
+	b.ComputeAfterRecv(1, r[0], fheop.Of(fheop.HAdd, 2), 4, "ping")
+	seeds = append(seeds, b.Build())
+
+	for _, p := range seeds {
+		data, err := Marshal(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	// A few deliberately broken prefixes to seed the error paths too.
+	f.Add([]byte{})
+	f.Add(Magic[:])
+	f.Add(append(append([]byte{}, Magic[:]...), Version, 0xFF, 0xFF, 0xFF))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Unmarshal(data)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted programs must be stable under re-encoding.
+		enc, err := Marshal(p)
+		if err != nil {
+			t.Fatalf("Unmarshal accepted a program Marshal rejects: %v", err)
+		}
+		back, err := Unmarshal(enc)
+		if err != nil {
+			t.Fatalf("re-encoded program fails to decode: %v", err)
+		}
+		if !programsEqual(p, back) {
+			t.Fatal("Marshal/Unmarshal round trip changed the program")
+		}
+	})
+}

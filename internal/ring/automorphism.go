@@ -39,7 +39,7 @@ func (r *Ring) AutomorphismCoeff(in *Poly, k uint64, out *Poly) {
 	if out.Level() < lvl {
 		lvl = out.Level()
 	}
-	for i := 0; i <= lvl; i++ {
+	ForEachLimb(lvl+1, func(i int) {
 		q := r.Moduli[i]
 		src, dst := in.Coeffs[i], out.Coeffs[i]
 		for j := uint64(0); j < n; j++ {
@@ -50,7 +50,7 @@ func (r *Ring) AutomorphismCoeff(in *Poly, k uint64, out *Poly) {
 				dst[idx-n] = NegMod(src[j], q)
 			}
 		}
-	}
+	})
 	out.IsNTT = false
 }
 
@@ -78,11 +78,11 @@ func (r *Ring) AutomorphismNTT(in *Poly, perm []int, out *Poly) {
 	if out.Level() < lvl {
 		lvl = out.Level()
 	}
-	for i := 0; i <= lvl; i++ {
+	ForEachLimb(lvl+1, func(i int) {
 		src, dst := in.Coeffs[i], out.Coeffs[i]
 		for j := range dst {
 			dst[j] = src[perm[j]]
 		}
-	}
+	})
 	out.IsNTT = true
 }

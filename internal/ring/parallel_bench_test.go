@@ -1,0 +1,34 @@
+package ring
+
+import "testing"
+
+// benchNTTPoly times forward+inverse NTT over a full multi-limb polynomial —
+// the unit the limb pool fans out — with the pool forced serial and then in
+// its default parallel mode. On a multi-core machine the parallel arm should
+// approach limbs/cores scaling; on one core both arms match (the pool runs
+// everything inline).
+func benchNTTPoly(b *testing.B, n, limbs int) {
+	r := testRing(b, n, limbs)
+	s := NewSampler(r, 7)
+	p := r.NewPoly(limbs - 1)
+	s.Uniform(p)
+	for _, mode := range []struct {
+		name   string
+		serial bool
+	}{{"serial", true}, {"parallel", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			SetSerial(mode.serial)
+			defer SetSerial(false)
+			b.SetBytes(int64(8 * n * limbs))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.NTT(p)
+				r.INTT(p)
+			}
+		})
+	}
+}
+
+func BenchmarkNTTParallel_16384(b *testing.B) { benchNTTPoly(b, 16384, 8) }
+func BenchmarkNTTParallel_65536(b *testing.B) { benchNTTPoly(b, 65536, 8) }

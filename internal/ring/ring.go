@@ -3,6 +3,7 @@ package ring
 import (
 	"fmt"
 	"math/big"
+	"sync"
 )
 
 // Ring is the RNS representation of Z_Q[X]/(X^N+1) for Q = q_0·q_1·…·q_{L}.
@@ -12,6 +13,13 @@ type Ring struct {
 	N      int
 	Moduli []uint64
 	Tables []*NTTTable
+
+	// scratch recycles full-capacity polynomial backings and rows recycles
+	// single N-length residue rows, so the limb-parallel hot paths (key
+	// switching, rescaling, digit decomposition) don't trade CPU for GC
+	// pressure.
+	scratch sync.Pool
+	rows    sync.Pool
 }
 
 // NewRing constructs a ring of degree n over the given NTT-friendly moduli.
@@ -35,7 +43,60 @@ func NewRing(n int, moduli []uint64) (*Ring, error) {
 		psi := PrimitiveRoot2N(n, q)
 		r.Tables = append(r.Tables, NewNTTTable(n, q, psi))
 	}
+	r.scratch.New = func() any {
+		backing := make([]uint64, len(r.Moduli)*r.N)
+		return &backing
+	}
+	r.rows.New = func() any {
+		row := make([]uint64, r.N)
+		return &row
+	}
 	return r, nil
+}
+
+// GetScratch returns a zeroed polynomial at the given level backed by the
+// ring's buffer pool. It is for transient intermediates only: callers must
+// hand it back with PutScratch and must not let it escape into results.
+func (r *Ring) GetScratch(level int) *Poly {
+	if level < 0 || level > r.MaxLevel() {
+		panic(fmt.Sprintf("ring: level %d out of range [0,%d]", level, r.MaxLevel()))
+	}
+	backing := *(r.scratch.Get().(*[]uint64))
+	clear(backing[:(level+1)*r.N])
+	p := &Poly{Coeffs: make([][]uint64, level+1)}
+	for i := range p.Coeffs {
+		p.Coeffs[i], backing = backing[:r.N], backing[r.N:]
+	}
+	return p
+}
+
+// PutScratch returns a GetScratch polynomial to the pool. The caller must
+// not use p afterwards. Polys whose first row does not span the pool's
+// backing (e.g. a NewPoly result) are rejected silently rather than pooled.
+func (r *Ring) PutScratch(p *Poly) {
+	if p == nil || len(p.Coeffs) == 0 {
+		return
+	}
+	backing := p.Coeffs[0][:cap(p.Coeffs[0])]
+	if len(backing) != len(r.Moduli)*r.N {
+		return
+	}
+	r.scratch.Put(&backing)
+}
+
+// GetRow returns a zeroed length-N coefficient row from the row pool.
+func (r *Ring) GetRow() []uint64 {
+	row := *(r.rows.Get().(*[]uint64))
+	clear(row)
+	return row
+}
+
+// PutRow returns a GetRow row to the pool.
+func (r *Ring) PutRow(row []uint64) {
+	if len(row) != r.N {
+		return
+	}
+	r.rows.Put(&row)
 }
 
 // MaxLevel is the highest level index (len(Moduli)-1).
@@ -107,13 +168,13 @@ func (r *Ring) Add(a, b, out *Poly) {
 	if out.Level() < lvl {
 		lvl = out.Level()
 	}
-	for i := 0; i <= lvl; i++ {
+	ForEachLimb(lvl+1, func(i int) {
 		q := r.Moduli[i]
 		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
 		for j := range oi {
 			oi[j] = AddMod(ai[j], bi[j], q)
 		}
-	}
+	})
 	out.IsNTT = a.IsNTT
 }
 
@@ -123,13 +184,13 @@ func (r *Ring) Sub(a, b, out *Poly) {
 	if out.Level() < lvl {
 		lvl = out.Level()
 	}
-	for i := 0; i <= lvl; i++ {
+	ForEachLimb(lvl+1, func(i int) {
 		q := r.Moduli[i]
 		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
 		for j := range oi {
 			oi[j] = SubMod(ai[j], bi[j], q)
 		}
-	}
+	})
 	out.IsNTT = a.IsNTT
 }
 
@@ -139,13 +200,13 @@ func (r *Ring) Neg(a, out *Poly) {
 	if out.Level() < lvl {
 		lvl = out.Level()
 	}
-	for i := 0; i <= lvl; i++ {
+	ForEachLimb(lvl+1, func(i int) {
 		q := r.Moduli[i]
 		ai, oi := a.Coeffs[i], out.Coeffs[i]
 		for j := range oi {
 			oi[j] = NegMod(ai[j], q)
 		}
-	}
+	})
 	out.IsNTT = a.IsNTT
 }
 
@@ -159,13 +220,13 @@ func (r *Ring) MulCoeffs(a, b, out *Poly) {
 	if out.Level() < lvl {
 		lvl = out.Level()
 	}
-	for i := 0; i <= lvl; i++ {
+	ForEachLimb(lvl+1, func(i int) {
 		m := r.Tables[i].Mod
 		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
 		for j := range oi {
 			oi[j] = m.MulModBarrett(ai[j], bi[j])
 		}
-	}
+	})
 	out.IsNTT = true
 }
 
@@ -175,7 +236,7 @@ func (r *Ring) MulScalar(a *Poly, s uint64, out *Poly) {
 	if out.Level() < lvl {
 		lvl = out.Level()
 	}
-	for i := 0; i <= lvl; i++ {
+	ForEachLimb(lvl+1, func(i int) {
 		m := r.Tables[i].Mod
 		sq := s % m.Q
 		sShoup := ShoupPrecomp(sq, m.Q)
@@ -183,7 +244,7 @@ func (r *Ring) MulScalar(a *Poly, s uint64, out *Poly) {
 		for j := range oi {
 			oi[j] = MulModShoup(ai[j], sq, sShoup, m.Q)
 		}
-	}
+	})
 	out.IsNTT = a.IsNTT
 }
 
@@ -192,9 +253,9 @@ func (r *Ring) NTT(p *Poly) {
 	if p.IsNTT {
 		panic("ring: polynomial already in NTT domain")
 	}
-	for i := range p.Coeffs {
+	ForEachLimb(len(p.Coeffs), func(i int) {
 		r.Tables[i].Forward(p.Coeffs[i])
-	}
+	})
 	p.IsNTT = true
 }
 
@@ -203,9 +264,9 @@ func (r *Ring) NTTRadix4(p *Poly) {
 	if p.IsNTT {
 		panic("ring: polynomial already in NTT domain")
 	}
-	for i := range p.Coeffs {
+	ForEachLimb(len(p.Coeffs), func(i int) {
 		r.Tables[i].ForwardRadix4(p.Coeffs[i])
-	}
+	})
 	p.IsNTT = true
 }
 
@@ -214,9 +275,9 @@ func (r *Ring) INTT(p *Poly) {
 	if !p.IsNTT {
 		panic("ring: polynomial already in coefficient domain")
 	}
-	for i := range p.Coeffs {
+	ForEachLimb(len(p.Coeffs), func(i int) {
 		r.Tables[i].Inverse(p.Coeffs[i])
-	}
+	})
 	p.IsNTT = false
 }
 

@@ -1,0 +1,26 @@
+#!/bin/sh
+# CI gate for the limb-parallel execution layer: vet everything, then run the
+# concurrency-bearing packages (the worker pool, the evaluator that fans limb
+# work onto it, and the goroutine-card runtimes that nest it) under the race
+# detector. The ckks package includes the parallel-vs-serial differential
+# harness, so this also proves bit-identical results under -race scheduling.
+#
+# Usage: scripts/ci.sh [extra go-test flags]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+
+echo "== go test -race (pool + evaluator + runtimes)"
+go test -race "$@" \
+	./internal/ring/... \
+	./internal/ckks/... \
+	./internal/runtime/... \
+	./internal/cluster/...
+
+echo "== go test (full tier-1 suite)"
+go test ./...
+
+echo "ci: OK"
