@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race ci bench fuzz golden-update
+.PHONY: all build test lint race ci bench fuzz golden-update
 
 all: build test
 
@@ -15,6 +15,14 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Domain-specific static analysis: enforces the FHE and concurrency
+# invariants (no raw modular arithmetic outside internal/ring, no pooled
+# scratch escaping its acquire/release window, no raw goroutines in hot
+# packages, no float math in exact zones, no dropped errors in the
+# scheduling layers). See DESIGN.md "Static invariants".
+lint:
+	$(GO) run ./cmd/hydra-lint ./...
 
 # Race-detector run of the limb pool, the evaluator that fans work onto it,
 # and the goroutine-card runtimes that nest it (includes the differential
@@ -28,9 +36,11 @@ ci:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
-# Short fuzz pass over the ISA task-program decoder.
+# Short fuzz passes: the ISA task-program decoder, and the differential
+# modular-arithmetic fuzzer (Barrett/Shoup/Montgomery vs math/big).
 fuzz:
 	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=20s ./internal/isa/
+	$(GO) test -fuzz=FuzzModularOps -fuzztime=10s -run '^$$' ./internal/ring/
 
 # Regenerate the experiment golden snapshots after an intentional change.
 golden-update:

@@ -1,0 +1,200 @@
+// Command hydra-lint runs the repository's domain-specific static checks:
+// the FHE and concurrency invariants that go vet cannot see (see
+// internal/lint). It loads and type-checks the module with the standard
+// library only, so it needs no dependencies beyond the Go toolchain.
+//
+// Usage:
+//
+//	hydra-lint [flags] [packages]
+//
+// Packages are module-relative patterns ("./...", "./internal/ring",
+// "./internal/..."); the default is the whole module. Exit status is 1 when
+// unsuppressed findings remain, 2 on usage or load errors.
+//
+// Intentional findings are suppressed in-source with
+//
+//	//lint:allow <check>[,<check>...] <reason>
+//
+// on the offending line or the line directly above it; the reason is
+// mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hydra/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		list       = flag.Bool("list", false, "list available checks and exit")
+		only       = flag.String("checks", "", "comma-separated list of checks to run (default: all)")
+		disable    = flag.String("disable", "", "comma-separated list of checks to skip")
+		suppressed = flag.Bool("suppressed", false, "also print suppressed findings with their reasons")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, c := range lint.Checks() {
+			fmt.Printf("%-12s %s\n", c.Name, c.Doc)
+		}
+		return 0
+	}
+
+	checks, err := selectChecks(*only, *disable)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hydra-lint:", err)
+		return 2
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hydra-lint:", err)
+		return 2
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hydra-lint:", err)
+		return 2
+	}
+	mod, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hydra-lint:", err)
+		return 2
+	}
+
+	match, err := patternFilter(cwd, root, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hydra-lint:", err)
+		return 2
+	}
+
+	diags := lint.Run(mod, checks)
+	bad := 0
+	for _, d := range diags {
+		if !match(d.Pos.Filename) {
+			continue
+		}
+		if d.Suppressed {
+			if *suppressed {
+				fmt.Printf("%s (suppressed: %s)\n", rel(root, d), d.Reason)
+			}
+			continue
+		}
+		fmt.Println(rel(root, d))
+		bad++
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "hydra-lint: %d finding(s)\n", bad)
+		return 1
+	}
+	return 0
+}
+
+func rel(root string, d lint.Diagnostic) string {
+	if r, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+		d.Pos.Filename = r
+	}
+	return d.String()
+}
+
+func selectChecks(only, disable string) ([]*lint.Check, error) {
+	all := lint.Checks()
+	byName := map[string]*lint.Check{}
+	for _, c := range all {
+		byName[c.Name] = c
+	}
+	parse := func(s string) (map[string]bool, error) {
+		set := map[string]bool{}
+		if s == "" {
+			return set, nil
+		}
+		for _, name := range strings.Split(s, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if byName[name] == nil {
+				return nil, fmt.Errorf("unknown check %q (known: %s)", name, strings.Join(lint.CheckNames(), ", "))
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	onlySet, err := parse(only)
+	if err != nil {
+		return nil, err
+	}
+	disableSet, err := parse(disable)
+	if err != nil {
+		return nil, err
+	}
+	var out []*lint.Check
+	for _, c := range all {
+		if len(onlySet) > 0 && !onlySet[c.Name] {
+			continue
+		}
+		if disableSet[c.Name] {
+			continue
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no checks selected")
+	}
+	return out, nil
+}
+
+// patternFilter maps CLI package patterns to a filename predicate. Patterns
+// are resolved relative to the invocation directory, like the go tool's.
+func patternFilter(cwd, root string, args []string) (func(string) bool, error) {
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	type pat struct {
+		dir       string
+		recursive bool
+	}
+	var pats []pat
+	for _, a := range args {
+		p := pat{dir: a}
+		if strings.HasSuffix(a, "/...") || a == "..." {
+			p.recursive = true
+			p.dir = strings.TrimSuffix(strings.TrimSuffix(a, "..."), "/")
+			if p.dir == "" {
+				p.dir = "."
+			}
+		}
+		abs := p.dir
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(cwd, abs)
+		}
+		abs = filepath.Clean(abs)
+		if abs != root && !strings.HasPrefix(abs, root+string(filepath.Separator)) {
+			return nil, fmt.Errorf("pattern %q points outside the module", a)
+		}
+		p.dir = abs
+		pats = append(pats, p)
+	}
+	return func(filename string) bool {
+		dir := filepath.Dir(filename)
+		for _, p := range pats {
+			if p.recursive {
+				if dir == p.dir || strings.HasPrefix(dir, p.dir+string(filepath.Separator)) {
+					return true
+				}
+			} else if dir == p.dir {
+				return true
+			}
+		}
+		return false
+	}, nil
+}

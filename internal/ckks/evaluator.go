@@ -25,7 +25,7 @@ func NewEvaluator(params *Parameters, rlk *RelinearizationKey, rtks *RotationKey
 	ev := &Evaluator{params: params, rlk: rlk, rtks: rtks}
 	ev.pInvModQi = make([]uint64, len(params.Q()))
 	for i := range ev.pInvModQi {
-		ev.pInvModQi[i] = ring.InvMod(params.P()%r.Moduli[i], r.Moduli[i])
+		ev.pInvModQi[i] = ring.InvMod(ring.Reduce(params.P(), r.Moduli[i]), r.Moduli[i])
 	}
 	return ev
 }
@@ -101,7 +101,6 @@ func (ev *Evaluator) RaiseModulus(ct *Ciphertext) *Ciphertext {
 	top := len(ev.params.Q()) - 1
 	out := &Ciphertext{C0: r.NewPoly(top), C1: r.NewPoly(top), Scale: ct.Scale}
 	q0 := r.Moduli[0]
-	half := q0 >> 1
 	for _, pair := range [][2]*ring.Poly{{ct.C0, out.C0}, {ct.C1, out.C1}} {
 		src := r.GetScratch(0)
 		src.Copy(pair[0])
@@ -112,11 +111,7 @@ func (ev *Evaluator) RaiseModulus(ct *Ciphertext) *Ciphertext {
 			qi := r.Moduli[i]
 			row := dst.Coeffs[i]
 			for j, c := range coeffs {
-				if c <= half {
-					row[j] = c % qi
-				} else {
-					row[j] = ring.NegMod((q0-c)%qi, qi)
-				}
+				row[j] = ring.CenteredMod(c, q0, qi)
 			}
 		})
 		r.PutScratch(src)
@@ -152,7 +147,7 @@ func (ev *Evaluator) AddConst(ct *Ciphertext, c float64) *Ciphertext {
 	k := uint64(math.Round(math.Abs(c) * ct.Scale))
 	ring.ForEachLimb(out.Level()+1, func(i int) {
 		q := r.Moduli[i]
-		kq := k % q
+		kq := ring.Reduce(k, q)
 		if neg {
 			kq = ring.NegMod(kq, q)
 		}
@@ -202,7 +197,7 @@ func (ev *Evaluator) MulByConstWithScale(ct *Ciphertext, c, scale float64) *Ciph
 	out := &Ciphertext{C0: r.NewPoly(ct.Level()), C1: r.NewPoly(ct.Level()), Scale: outScale}
 	ring.ForEachLimb(ct.Level()+1, func(i int) {
 		q := r.Moduli[i]
-		kq := k % q
+		kq := ring.Reduce(k, q)
 		if neg {
 			kq = ring.NegMod(kq, q)
 		}
@@ -269,13 +264,12 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) *Ciphertext {
 func (ev *Evaluator) divRoundByModulus(p *ring.Poly, top int) *ring.Poly {
 	r := ev.params.RingQP()
 	qLast := r.Moduli[top]
-	qLastInv := func(qj uint64) uint64 { return ring.InvMod(qLast%qj, qj) }
+	qLastInv := func(qj uint64) uint64 { return ring.InvMod(ring.Reduce(qLast, qj), qj) }
 
 	work := r.GetScratch(top)
 	work.Copy(p)
 	r.INTT(work)
 	out := r.NewPoly(top - 1)
-	half := qLast >> 1
 	ring.ForEachLimb(top, func(j int) {
 		qj := r.Moduli[j]
 		inv := qLastInv(qj)
@@ -285,12 +279,7 @@ func (ev *Evaluator) divRoundByModulus(p *ring.Poly, top int) *ring.Poly {
 		dst := out.Coeffs[j]
 		for t := range dst {
 			// Centered remainder of the dropped residue.
-			var rr uint64
-			if rem[t] <= half {
-				rr = rem[t] % qj
-			} else {
-				rr = ring.NegMod((qLast-rem[t])%qj, qj)
-			}
+			rr := ring.CenteredMod(rem[t], qLast, qj)
 			dst[t] = ring.MulModShoup(ring.SubMod(src[t], rr, qj), inv, invShoup, qj)
 		}
 	})
@@ -371,16 +360,17 @@ func (ev *Evaluator) decomposeExt(d *ring.Poly) *hoistedDecomp {
 		digit := dCoeff.Coeffs[i]
 		rows := make([][]uint64, lvl+2)
 		for jj, tblIdx := range h.modIdx {
-			qj := r.Moduli[tblIdx]
+			m := r.Tables[tblIdx].Mod
 			ext := r.GetRow()
 			if tblIdx == i {
 				copy(ext, digit)
 			} else {
 				for t := 0; t < n; t++ {
-					ext[t] = digit[t] % qj
+					ext[t] = m.Reduce64(digit[t])
 				}
 			}
 			r.Tables[tblIdx].Forward(ext)
+			//lint:allow poolleak digit rows transfer ownership to hoistedDecomp; h.release returns them to the pool
 			rows[jj] = ext
 		}
 		h.digits[i] = rows
@@ -413,6 +403,7 @@ func (h *hoistedDecomp) permute(r *ring.Ring, perm []int) *hoistedDecomp {
 			for t := range nr {
 				nr[t] = row[perm[t]]
 			}
+			//lint:allow poolleak permuted rows transfer ownership to the new hoistedDecomp; its release returns them
 			newRows[j] = nr
 		}
 		out.digits[i] = newRows
@@ -445,6 +436,7 @@ func (ev *Evaluator) ksFromDecomp(h *hoistedDecomp, swk *SwitchingKey) (out0, ou
 				a1[t] = ring.AddMod(a1[t], m.MulModBarrett(ext[t], ka[t]), qj)
 			}
 		}
+		//lint:allow poolleak accumulator rows are released below via PutRow(acc0[jj]) after the ModDown consumes them
 		acc0[jj], acc1[jj] = a0, a1
 	})
 	out0 = ev.modDownP(acc0, h.modIdx, h.lvl)
@@ -519,7 +511,6 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, rots []int) map[int]*Cipherte
 func (ev *Evaluator) modDownP(acc [][]uint64, modIdx []int, lvl int) *ring.Poly {
 	r := ev.params.RingQP()
 	p := ev.params.P()
-	half := p >> 1
 
 	// Bring all rows to the coefficient domain.
 	ring.ForEachLimb(len(modIdx), func(j int) {
@@ -535,12 +526,7 @@ func (ev *Evaluator) modDownP(acc [][]uint64, modIdx []int, lvl int) *ring.Poly 
 		src := acc[j]
 		dst := out.Coeffs[j]
 		for t := range dst {
-			var rr uint64
-			if rem[t] <= half {
-				rr = rem[t] % qj
-			} else {
-				rr = ring.NegMod((p-rem[t])%qj, qj)
-			}
+			rr := ring.CenteredMod(rem[t], p, qj)
 			dst[t] = ring.MulModShoup(ring.SubMod(src[t], rr, qj), inv, invShoup, qj)
 		}
 	})

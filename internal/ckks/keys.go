@@ -93,10 +93,9 @@ func (kg *KeyGenerator) GenSwitchingKey(sIn, sOut *ring.Poly) *SwitchingKey {
 	r := kg.params.RingQP()
 	lvl := r.MaxLevel()
 	nQ := len(kg.params.Q())
-	pIdx := kg.params.SpecialIndex()
 	pModQi := make([]uint64, nQ)
 	for i := 0; i < nQ; i++ {
-		pModQi[i] = kg.params.P() % r.Moduli[i]
+		pModQi[i] = ring.Reduce(kg.params.P(), r.Moduli[i])
 	}
 
 	swk := &SwitchingKey{
@@ -123,7 +122,6 @@ func (kg *KeyGenerator) GenSwitchingKey(sIn, sOut *ring.Poly) *SwitchingKey {
 			term := ring.MulModShoup(sIn.Coeffs[i][j], pi, piShoup, qi)
 			b.Coeffs[i][j] = ring.AddMod(b.Coeffs[i][j], term, qi)
 		}
-		_ = pIdx
 		swk.DigitsB[i] = b
 		swk.DigitsA[i] = a
 	}

@@ -24,12 +24,17 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"hydra/internal/ckks"
 	"hydra/internal/hefloat"
 )
+
+// errAborted marks a card that was unblocked by the abort broadcast rather
+// than failing on its own account; Run reports the root cause instead.
+var errAborted = errors.New("aborted: a peer card failed")
 
 // OpCode enumerates the card instruction set.
 type OpCode int
@@ -102,32 +107,52 @@ func (cl *Cluster) Load(card int, name string, ct *ckks.Ciphertext) {
 
 // Run executes one instruction stream per card concurrently and waits for
 // all of them (the Procedure 2 completion signal).
+//
+// If any card fails mid-program, the failure is broadcast through an abort
+// channel so peers blocked on switch sends or receives unwind instead of
+// deadlocking; Run then reports the root-cause error rather than the
+// secondary aborts. After a failed Run the switch may hold stale frames, so
+// the cluster must not be reused.
 func (cl *Cluster) Run(programs [][]Instr) error {
 	if len(programs) != len(cl.Cards) {
 		return fmt.Errorf("cluster: %d programs for %d cards", len(programs), len(cl.Cards))
 	}
+	abort := make(chan struct{})
+	var once sync.Once
 	var wg sync.WaitGroup
 	errs := make([]error, len(cl.Cards))
 	for i, prog := range programs {
 		wg.Add(1)
 		go func(card *Card, prog []Instr, slot *error) {
 			defer wg.Done()
-			*slot = cl.execute(card, prog)
+			if err := cl.execute(card, prog, abort); err != nil {
+				*slot = err
+				once.Do(func() { close(abort) })
+			}
 		}(cl.Cards[i], prog, &errs[i])
 	}
 	wg.Wait()
+	var aborted error
 	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("cluster: card %d: %w", i, err)
+		if err == nil {
+			continue
 		}
+		if errors.Is(err, errAborted) {
+			if aborted == nil {
+				aborted = fmt.Errorf("cluster: card %d: %w", i, err)
+			}
+			continue
+		}
+		return fmt.Errorf("cluster: card %d: %w", i, err)
 	}
-	return nil
+	return aborted
 }
 
 // execute runs a card's stream in order. Receives block on the switch; the
 // per-tag framing keeps out-of-order arrivals from earlier broadcasts safe
-// because programs consume tags in emission order.
-func (cl *Cluster) execute(card *Card, prog []Instr) error {
+// because programs consume tags in emission order. Blocking switch operations
+// also watch the abort channel so a peer failure cannot strand this card.
+func (cl *Cluster) execute(card *Card, prog []Instr, abort <-chan struct{}) error {
 	pending := map[int][]byte{} // tag -> frame that arrived early
 	for pc, ins := range prog {
 		get := func(name string) (*ckks.Ciphertext, error) {
@@ -219,16 +244,24 @@ func (cl *Cluster) execute(card *Card, prog []Instr) error {
 			if ins.Peer < 0 || ins.Peer >= len(cl.Cards) || ins.Peer == card.ID {
 				return fmt.Errorf("pc %d: bad peer %d", pc, ins.Peer)
 			}
-			cl.links[ins.Peer] <- frame{tag: ins.Tag, data: ckks.MarshalCiphertext(src)}
+			select {
+			case cl.links[ins.Peer] <- frame{tag: ins.Tag, data: ckks.MarshalCiphertext(src)}:
+			case <-abort:
+				return fmt.Errorf("pc %d: send to card %d: %w", pc, ins.Peer, errAborted)
+			}
 		case OpRecv:
 			data, ok := pending[ins.Tag]
 			for !ok {
-				f := <-cl.links[card.ID]
-				if f.tag == ins.Tag {
-					data = f.data
-					ok = true
-				} else {
-					pending[f.tag] = f.data
+				select {
+				case f := <-cl.links[card.ID]:
+					if f.tag == ins.Tag {
+						data = f.data
+						ok = true
+					} else {
+						pending[f.tag] = f.data
+					}
+				case <-abort:
+					return fmt.Errorf("pc %d: recv tag %d: %w", pc, ins.Tag, errAborted)
 				}
 			}
 			delete(pending, ins.Tag)

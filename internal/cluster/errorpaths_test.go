@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"hydra/internal/ckks"
+)
+
+// TestCardFailureUnblocksPeers is the liveness test for the abort broadcast:
+// card 0 dies on an undefined register while card 1 is parked on a Recv that
+// will never be satisfied. Without the abort channel this deadlocks Run
+// forever; with it, Run returns the root-cause error promptly.
+func TestCardFailureUnblocksPeers(t *testing.T) {
+	e := newEnv(t, 6, 2, []int{1})
+	cl := New(e.params, e.eval, 2)
+	progs := [][]Instr{
+		{{Op: OpRotate, Dst: "y", Src1: "missing", Imm: 1}},
+		{{Op: OpRecv, Dst: "u", Tag: 7}},
+	}
+	done := make(chan error, 1)
+	go func() { done <- cl.Run(progs) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected an error from the failing card")
+		}
+		if !strings.Contains(err.Error(), "undefined") {
+			t.Fatalf("want the root-cause register error, got: %v", err)
+		}
+		if errors.Is(err, errAborted) {
+			t.Fatalf("abort must not mask the root cause: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run deadlocked: peer card was never unblocked")
+	}
+}
+
+// TestCardFailureUnblocksBlockedSend covers the other blocking switch
+// operation: card 0 saturates card 1's link buffer and blocks in OpSend
+// while card 1 fails without draining. The abort must unwind the sender.
+func TestCardFailureUnblocksBlockedSend(t *testing.T) {
+	e := newEnv(t, 6, 2, []int{1})
+	cl := New(e.params, e.eval, 2)
+	ct := e.encryptSeq(e.params.DefaultScale())
+	cl.Load(0, "x", ct)
+	// The switch buffers 64 frames per link; 70 sends guarantee card 0 blocks.
+	var p0 []Instr
+	for i := 0; i < 70; i++ {
+		p0 = append(p0, Instr{Op: OpSend, Src1: "x", Peer: 1, Tag: i})
+	}
+	progs := [][]Instr{p0, {{Op: OpPMult, Dst: "y", Src1: "nope"}}}
+	done := make(chan error, 1)
+	go func() { done <- cl.Run(progs) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected an error from the failing card")
+		}
+		if !strings.Contains(err.Error(), "card 1") {
+			t.Fatalf("want card 1's failure as root cause, got: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run deadlocked: blocked sender was never unblocked")
+	}
+}
+
+// TestRecvFailureAfterBadFrame exercises the unmarshal error path mid-program
+// while the sender has more work queued behind the switch.
+func TestRecvFailureAfterBadFrame(t *testing.T) {
+	e := newEnv(t, 6, 2, []int{1})
+	cl := New(e.params, e.eval, 2)
+	// Inject a corrupt frame directly into card 1's link, then have card 1
+	// receive it while card 0 waits for a reply that will never come.
+	cl.links[1] <- frame{tag: 3, data: []byte("not a ciphertext")}
+	progs := [][]Instr{
+		{{Op: OpRecv, Dst: "u", Tag: 9}},
+		{{Op: OpRecv, Dst: "v", Tag: 3}},
+	}
+	done := make(chan error, 1)
+	go func() { done <- cl.Run(progs) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected an unmarshal error")
+		}
+		if !strings.Contains(err.Error(), "card 1") {
+			t.Fatalf("want card 1's unmarshal failure as root cause, got: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run deadlocked after a corrupt frame")
+	}
+}
+
+// TestBuilderValidation covers the instruction-stream builders' error paths:
+// mismatched step counts and malformed shapes must be rejected before any
+// card runs.
+func TestBuilderValidation(t *testing.T) {
+	if _, err := BuildConv(2, ConvLayer{}); err == nil {
+		t.Fatal("BuildConv: expected error for an empty layer")
+	}
+	if _, err := BuildConv(2, ConvLayer{Rotations: []int{0, 1}, Weights: []*ckks.Plaintext{nil}}); err == nil {
+		t.Fatal("BuildConv: expected error for mismatched rotations/weights")
+	}
+	if _, err := BuildMatVec(4, 0, [][]*ckks.Plaintext{{}}); err == nil {
+		t.Fatal("BuildMatVec: expected error for non-positive bs")
+	}
+	if _, err := BuildMatVec(4, 2, nil); err == nil {
+		t.Fatal("BuildMatVec: expected error for zero giant steps")
+	}
+	if _, err := BuildMatVec(3, 2, [][]*ckks.Plaintext{{nil, nil}}); err == nil {
+		t.Fatal("BuildMatVec: expected error for non-power-of-two card count")
+	}
+	// Mismatched step count: giant-step row shorter than bs.
+	if _, err := BuildMatVec(4, 2, [][]*ckks.Plaintext{{nil}}); err == nil {
+		t.Fatal("BuildMatVec: expected error for a short diagonal row")
+	}
+	if _, err := BuildPolySplit([]float64{1, 2, 3, 4, 5}, 8); err == nil {
+		t.Fatal("BuildPolySplit: expected error for degree below the split")
+	}
+	if _, err := BuildPolySplit(make([]float64, 20), 8); err == nil {
+		t.Fatal("BuildPolySplit: expected error for degree beyond two subtrees")
+	}
+}

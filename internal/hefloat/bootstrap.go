@@ -6,6 +6,7 @@ import (
 	"math/cmplx"
 
 	"hydra/internal/ckks"
+	"hydra/internal/ring"
 )
 
 // Bootstrapper implements functional CKKS bootstrapping — the procedure
@@ -101,7 +102,6 @@ func NewBootstrapper(params *ckks.Parameters, enc *ckks.Encoder, eval *ckks.Eval
 	}
 	bt.DAFIters = r
 
-	n := params.Slots()
 	a, b, err := probeEmbedding(params, enc)
 	if err != nil {
 		return nil, err
@@ -143,7 +143,6 @@ func NewBootstrapper(params *ckks.Parameters, enc *ckks.Encoder, eval *ckks.Eval
 	if bt.ltB, err = mk(scaleMat(b, complex(fOut, 0))); err != nil {
 		return nil, err
 	}
-	_ = n
 	return bt, nil
 }
 
@@ -163,7 +162,7 @@ func probeEmbedding(params *ckks.Parameters, enc *ckks.Encoder) (a, b [][]comple
 	for j := 0; j < nn; j++ {
 		poly := r.NewPoly(0)
 		for i := range poly.Coeffs {
-			poly.Coeffs[i][j] = uint64(delta) % r.Moduli[i]
+			poly.Coeffs[i][j] = ring.Reduce(uint64(delta), r.Moduli[i])
 		}
 		r.NTT(poly)
 		col := enc.Decode(&ckks.Plaintext{Value: poly, Scale: delta})

@@ -1,0 +1,3 @@
+module hydra
+
+go 1.22

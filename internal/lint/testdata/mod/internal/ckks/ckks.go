@@ -1,0 +1,89 @@
+// Package ckks exercises the rawmod and poolleak checks from outside the
+// sanctioned ring zone.
+package ckks
+
+import "hydra/internal/ring"
+
+// rawmod: true positives on +, -=, and %.
+func badAdd(a, b, q uint64) uint64 {
+	c := a + b // want rawmod
+	if c >= q {
+		c -= q // want rawmod
+	}
+	return c
+}
+
+func badRem(p, q uint64) uint64 {
+	return p % q // want rawmod
+}
+
+// rawmod: the sanctioned route stays silent.
+func okAdd(a, b, q uint64) uint64 {
+	return ring.AddMod(a, b, q)
+}
+
+// rawmod: int arithmetic is not coefficient arithmetic.
+func okIndex(i, n int) int {
+	return i*n + 1
+}
+
+// rawmod: constant folding is not runtime coefficient math.
+const twoQ = uint64(7) * 2
+
+// rawmod: a suppressed case.
+func okScalarSetup(p, q uint64) uint64 {
+	//lint:allow rawmod testdata: scalar setup reduction kept raw intentionally
+	return p % q
+}
+
+type holder struct {
+	buf []uint64
+}
+
+// poolleak: stored into a struct field.
+func badStore(r *ring.Ring, h *holder) {
+	row := r.GetRow()
+	h.buf = row // want poolleak
+}
+
+// poolleak: returned to the caller.
+func badReturn(r *ring.Ring) *ring.Poly {
+	p := r.GetScratch(1)
+	return p // want poolleak
+}
+
+// poolleak: returned directly without ever being releasable.
+func badReturnDirect(r *ring.Ring) *ring.Poly {
+	return r.GetScratch(0) // want poolleak
+}
+
+// poolleak: acquired but never released.
+func badNeverReleased(r *ring.Ring) {
+	p := r.GetScratch(1) // want poolleak
+	p.Coeffs[0] = nil
+}
+
+// poolleak + rawgo: captured by a goroutine that outlives the window.
+func badGoroutine(r *ring.Ring) {
+	row := r.GetRow()
+	go func() { // want poolleak rawgo
+		row[0] = 1
+	}()
+	r.PutRow(row)
+}
+
+// poolleak: the bounded pool's own closures are inside the window.
+func okPooledFanout(r *ring.Ring) {
+	p := r.GetScratch(2)
+	ring.ForEachLimb(len(p.Coeffs), func(i int) {
+		p.Coeffs[i] = nil
+	})
+	r.PutScratch(p)
+}
+
+// poolleak: a suppressed ownership hand-off.
+func okHandoff(r *ring.Ring, h *holder) {
+	row := r.GetRow()
+	//lint:allow poolleak testdata: ownership transfers to holder, whose owner releases it
+	h.buf = row
+}

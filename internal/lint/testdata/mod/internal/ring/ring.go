@@ -1,0 +1,72 @@
+// Package ring is a miniature stub of the real internal/ring, giving the
+// golden tests realistic targets: the scratch-pool API, the bounded fan-out
+// helpers, and a modular helper. Raw uint64 arithmetic is legal here (ring
+// is the sanctioned zone), while float arithmetic and raw go statements are
+// not.
+package ring
+
+// Poly mimics the RNS polynomial.
+type Poly struct {
+	Coeffs [][]uint64
+}
+
+// Ring mimics the pooled ring.
+type Ring struct {
+	N int
+}
+
+func (r *Ring) GetScratch(level int) *Poly {
+	return &Poly{Coeffs: make([][]uint64, level+1)}
+}
+
+func (r *Ring) PutScratch(p *Poly) {}
+
+func (r *Ring) GetRow() []uint64 { return make([]uint64, r.N) }
+
+func (r *Ring) PutRow(row []uint64) {}
+
+// ForEachLimb mimics the bounded pool's fan-out entry point.
+func ForEachLimb(n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// RunTasks mimics the coarse-grained sibling.
+func RunTasks(fns ...func()) {
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+// AddMod uses raw uint64 arithmetic — inside internal/ring that is the
+// point, so rawmod must stay silent here.
+func AddMod(a, b, q uint64) uint64 {
+	c := a + b
+	if c >= q {
+		c -= q
+	}
+	return c
+}
+
+// floatexact: a true positive...
+func badScale(x float64) float64 {
+	return x * 1.5 // want floatexact
+}
+
+// ...and a suppressed case.
+func okScale(sigma float64) float64 {
+	//lint:allow floatexact testdata: noise bound computed in floats before rounding
+	return 6 * sigma
+}
+
+// rawgo: a true positive...
+func badSpawn(fn func()) {
+	go fn() // want rawgo
+}
+
+// ...and a suppressed case.
+func okSpawn(fn func()) {
+	//lint:allow rawgo testdata: models the pool's own slot-gated spawn site
+	go fn()
+}

@@ -1,0 +1,65 @@
+// Package sim exercises the errdrop and deadassign checks inside the
+// scheduling zone.
+package sim
+
+import "errors"
+
+func step() error { return errors.New("card failure") }
+
+func value() (int, error) { return 0, errors.New("no value") }
+
+// errdrop: call statement discarding the error.
+func badDropExpr() {
+	step() // want errdrop
+}
+
+// errdrop: error assigned to blank.
+func badDropBlank() {
+	_ = step() // want errdrop
+}
+
+// errdrop: blank at the error position of a tuple.
+func badDropTuple() int {
+	v, _ := value() // want errdrop
+	return v
+}
+
+// errdrop: discarded in a go statement.
+func badDropGo() {
+	go step() // want errdrop
+}
+
+// errdrop: handled errors stay silent.
+func okHandled() error {
+	if err := step(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// errdrop: a suppressed case.
+func okAnnotated() {
+	//lint:allow errdrop testdata: best-effort notification, failure handled by the barrier
+	step()
+}
+
+// deadassign: a dead variable kept alive.
+func badDead(n int) int {
+	m := n + 1
+	_ = m // want deadassign
+	return n
+}
+
+// deadassign: a suppressed load-bearing blank.
+func okAnnotatedDead(n int) {
+	m := n + 1
+	//lint:allow deadassign testdata: m is load-bearing for a build-tag variant of this file
+	_ = m
+}
+
+// deadassign: interface-satisfaction declarations are not assignments.
+var _ error = (*myErr)(nil)
+
+type myErr struct{}
+
+func (*myErr) Error() string { return "" }

@@ -88,8 +88,6 @@ func (c *Context) emitPolyEval(degree int, label string) error {
 			if len(dsts) > 0 {
 				recvs := c.B.Send(c.Cards[i], latest[i], dsts, bytes, label)
 				for di, m := 0, i+senders; m < cardNum; m += senders {
-					idx := (m - i) / senders
-					_ = idx
 					pendingRecv[m] = recvs[di]
 					di++
 				}

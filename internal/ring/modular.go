@@ -37,6 +37,24 @@ func barrettConstant(q uint64) (hi, lo uint64) {
 	return hi, lo
 }
 
+// Reduce returns a mod q. It is the sanctioned spelling of a raw reduction
+// for scalar setup values outside this package (Shoup precomputation inputs,
+// CRT base-conversion constants); coefficient loops should use the
+// precomputed Barrett/Shoup forms instead.
+func Reduce(a, q uint64) uint64 { return a % q }
+
+// CenteredMod lifts the residue c ∈ [0, q0) to its balanced representative
+// in (-q0/2, q0/2] and reduces that modulo q. This is the digit lift of RNS
+// base conversion (rescale, ModDown, modulus raise): taking the centered
+// remainder first keeps the rounding error of the division additive instead
+// of biased.
+func CenteredMod(c, q0, q uint64) uint64 {
+	if c <= q0>>1 {
+		return c % q
+	}
+	return NegMod((q0-c)%q, q)
+}
+
 // AddMod returns a+b mod q for a, b < q.
 func AddMod(a, b, q uint64) uint64 {
 	c := a + b
@@ -87,28 +105,32 @@ func (m Modulus) Reduce128(hi, lo uint64) uint64 {
 	mh1, _ := bits.Mul64(lo, m.BarrettLo)
 	mh2, ml2 := bits.Mul64(lo, m.BarrettHi)
 	mh3, ml3 := bits.Mul64(hi, m.BarrettLo)
-	hh, hl := bits.Mul64(hi, m.BarrettHi)
+	_, hl := bits.Mul64(hi, m.BarrettHi)
 
+	// Bits 64..127 of the running sum contribute only their carry into the
+	// quotient words; the sum itself is discarded.
 	carry := uint64(0)
 	s, c := bits.Add64(mh1, ml2, 0)
 	carry += c
-	s, c = bits.Add64(s, ml3, 0)
+	_, c = bits.Add64(s, ml3, 0)
 	carry += c
-	_ = s // s is bits 64..127 of the running sum; only bits >=128 matter.
 
-	qlo, c2 := bits.Add64(mh2, mh3, carry)
-	qhi := hh + c2
-	qlo, c3 := bits.Add64(qlo, hl, 0)
-	qhi += c3
-
-	// r = x - qhat*q, with qhat = qhi*2^64 + qlo (qhi used only via wraparound
-	// of the low product; since r < 2q fits in 64 bits we can work mod 2^64).
-	_ = qhi
+	// r = x - qhat*q. Since r < 2q fits in 64 bits we can work mod 2^64, so
+	// only the low quotient word qlo is needed (the high word hh + carries
+	// vanishes under the wraparound of the low product).
+	qlo, _ := bits.Add64(mh2, mh3, carry)
+	qlo, _ = bits.Add64(qlo, hl, 0)
 	r := lo - qlo*m.Q
 	for r >= m.Q {
 		r -= m.Q
 	}
 	return r
+}
+
+// Reduce64 reduces the single-word value a modulo q using the Barrett
+// constant (multiplies only, no hardware division). a may be any uint64.
+func (m Modulus) Reduce64(a uint64) uint64 {
+	return m.Reduce128(0, a)
 }
 
 // ShoupPrecomp returns floor(w * 2^64 / q), the Shoup multiplier for the

@@ -1,0 +1,121 @@
+package ring
+
+import (
+	"math/big"
+	"testing"
+)
+
+// FuzzModularOps differentially tests every modular-reduction strategy in the
+// package — plain %, Barrett (Reduce128/Reduce64/MulModBarrett), Shoup, and
+// Montgomery REDC — against math/big across random odd moduli. A divergence
+// here means two "equivalent" compute-unit models would disagree on the same
+// ciphertext limb, which is exactly the class of bug the cross-checked CU
+// implementations are meant to exclude.
+func FuzzModularOps(f *testing.F) {
+	f.Add(uint64(1), uint64(2), uint64(17))
+	f.Add(uint64(0), uint64(0), uint64(3))
+	f.Add(^uint64(0), ^uint64(0), ^uint64(0))
+	f.Add(uint64(1)<<61, uint64(1)<<61-1, uint64(1)<<61+1)
+	f.Add(uint64(12345), uint64(67890), uint64(0x1fffffffffe00001)) // NTT prime
+
+	f.Fuzz(func(t *testing.T, a, b, qseed uint64) {
+		// Clamp the modulus into the package contract: odd, 3 <= q < 2^62.
+		q := qseed | 1
+		if q >= 1<<62 {
+			q >>= 2
+			q |= 1
+		}
+		if q < 3 {
+			q = 3
+		}
+		bigQ := new(big.Int).SetUint64(q)
+		ref := func(x *big.Int) uint64 { return new(big.Int).Mod(x, bigQ).Uint64() }
+
+		// Reduction of arbitrary words.
+		m := NewModulus(q)
+		if got, want := Reduce(a, q), a%q; got != want {
+			t.Fatalf("Reduce(%d, %d) = %d, want %d", a, q, got, want)
+		}
+		if got, want := m.Reduce64(a), a%q; got != want {
+			t.Fatalf("Reduce64(%d) mod %d = %d, want %d", a, q, got, want)
+		}
+
+		ar, br := a%q, b%q
+		bigA := new(big.Int).SetUint64(ar)
+		bigB := new(big.Int).SetUint64(br)
+
+		// Add/Sub/Neg against math/big.
+		if got, want := AddMod(ar, br, q), ref(new(big.Int).Add(bigA, bigB)); got != want {
+			t.Fatalf("AddMod(%d, %d, %d) = %d, want %d", ar, br, q, got, want)
+		}
+		if got, want := SubMod(ar, br, q), ref(new(big.Int).Sub(bigA, bigB)); got != want {
+			t.Fatalf("SubMod(%d, %d, %d) = %d, want %d", ar, br, q, got, want)
+		}
+		if got, want := NegMod(ar, q), ref(new(big.Int).Neg(bigA)); got != want {
+			t.Fatalf("NegMod(%d, %d) = %d, want %d", ar, q, got, want)
+		}
+
+		// Full-product multiplication: division, Barrett, Shoup, Montgomery
+		// must all agree with math/big.
+		wantMul := ref(new(big.Int).Mul(bigA, bigB))
+		if got := MulMod(ar, br, q); got != wantMul {
+			t.Fatalf("MulMod(%d, %d, %d) = %d, want %d", ar, br, q, got, wantMul)
+		}
+		if got := m.MulModBarrett(ar, br); got != wantMul {
+			t.Fatalf("MulModBarrett(%d, %d) mod %d = %d, want %d", ar, br, q, got, wantMul)
+		}
+		bShoup := ShoupPrecomp(br, q)
+		if got := MulModShoup(ar, br, bShoup, q); got != wantMul {
+			t.Fatalf("MulModShoup(%d, %d, %d) mod %d = %d, want %d", ar, br, bShoup, q, got, wantMul)
+		}
+		mm := NewMontgomeryModulus(q)
+		if got := mm.FromMont(mm.MulModMont(mm.ToMont(ar), mm.ToMont(br))); got != wantMul {
+			t.Fatalf("Montgomery mul(%d, %d) mod %d = %d, want %d", ar, br, q, got, wantMul)
+		}
+
+		// Reduce128 on the raw 128-bit product (the NTT pointwise path).
+		prod := new(big.Int).Mul(new(big.Int).SetUint64(a), new(big.Int).SetUint64(br))
+		hi := new(big.Int).Rsh(prod, 64).Uint64()
+		lo := prod.Uint64()
+		if hi < q { // contract: value below q*2^64
+			if got, want := m.Reduce128(hi, lo), ref(prod); got != want {
+				t.Fatalf("Reduce128(%d, %d) mod %d = %d, want %d", hi, lo, q, got, want)
+			}
+		}
+
+		// Centered digit lift: CenteredMod(c, q0, q) must equal the signed
+		// balanced representative of c mod q0, reduced mod q.
+		q0 := b | 1
+		if q0 < 3 {
+			q0 = 3
+		}
+		c := a % q0
+		lift := new(big.Int).SetUint64(c)
+		if c > q0>>1 {
+			lift.Sub(lift, new(big.Int).SetUint64(q0))
+		}
+		if got, want := CenteredMod(c, q0, q), ref(lift); got != want {
+			t.Fatalf("CenteredMod(%d, %d, %d) = %d, want %d", c, q0, q, got, want)
+		}
+
+		// PowMod with a small exponent against big.Exp.
+		e := b % 64
+		wantPow := new(big.Int).Exp(bigA, new(big.Int).SetUint64(e), bigQ).Uint64()
+		if got := PowMod(ar, e, q); got != wantPow {
+			t.Fatalf("PowMod(%d, %d, %d) = %d, want %d", ar, e, q, got, wantPow)
+		}
+
+		// A CT butterfly (x + w·y, x − w·y) composed from Shoup mul, as the
+		// NTT inner loops do, checked end to end against math/big.
+		w := br
+		wShoup := ShoupPrecomp(w, q)
+		wy := MulModShoup(ar, w, wShoup, q)
+		bigWY := new(big.Int).Mul(bigA, bigB)
+		if got, want := AddMod(ar, wy, q), ref(new(big.Int).Add(bigA, bigWY)); got != want {
+			t.Fatalf("butterfly sum(%d, %d) mod %d = %d, want %d", ar, br, q, got, want)
+		}
+		if got, want := SubMod(ar, wy, q), ref(new(big.Int).Sub(bigA, bigWY)); got != want {
+			t.Fatalf("butterfly diff(%d, %d) mod %d = %d, want %d", ar, br, q, got, want)
+		}
+	})
+}

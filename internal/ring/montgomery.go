@@ -37,8 +37,9 @@ func NewMontgomeryModulus(q uint64) MontgomeryModulus {
 func (m MontgomeryModulus) REDC(hi, lo uint64) uint64 {
 	u := lo * m.QInv
 	mh, _ := bits.Mul64(u, m.Q)
-	r, carry := bits.Add64(lo, u*m.Q, 0)
-	_ = r // the low half cancels to zero by construction
+	// The low half of lo + u*q cancels to zero by construction; only its
+	// carry survives.
+	_, carry := bits.Add64(lo, u*m.Q, 0)
 	out := hi + mh + carry
 	if out >= m.Q {
 		out -= m.Q

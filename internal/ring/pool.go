@@ -96,6 +96,7 @@ spawn:
 		select {
 		case slots <- struct{}{}:
 			wg.Add(1)
+			//lint:allow rawgo this IS the bounded pool: the spawn is gated by a slot acquired above
 			go func() {
 				defer wg.Done()
 				defer func() { <-slots }()

@@ -83,10 +83,12 @@ func (s *Sampler) TernarySparse(p *Poly, h int) {
 // distribution with sigma = 3.2).
 func (s *Sampler) Gaussian(p *Poly, sigma float64) {
 	n := s.ring.N
+	//lint:allow floatexact noise is sampled in R and rounded once below, before any residue exists
 	bound := 6 * sigma
 	vals := make([]int8, n)
 	for j := range vals {
 		for {
+			//lint:allow floatexact same: pre-residue noise generation, rounded once by math.Round
 			x := s.rng.NormFloat64() * sigma
 			if math.Abs(x) <= bound {
 				vals[j] = int8(math.Round(x))

@@ -13,6 +13,9 @@ cd "$(dirname "$0")/.."
 echo "== go vet"
 go vet ./...
 
+echo "== hydra-lint (FHE + concurrency invariants)"
+go run ./cmd/hydra-lint ./...
+
 echo "== go test -race (pool + evaluator + runtimes)"
 go test -race "$@" \
 	./internal/ring/... \
