@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race ci bench fuzz golden-update
+.PHONY: all build test lint race ci bench bench-json fuzz golden-update
 
 all: build test
 
@@ -35,6 +35,13 @@ ci:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# Machine-readable kernel benchmarks: the serial/parallel ring + ckks pairs,
+# parsed into BENCH_ring.json (ns/op, B/op, allocs/op). EXPERIMENTS.md
+# numbers come from this harness; `scripts/bench.sh smoke` is the 1-iteration
+# CI variant.
+bench-json:
+	sh scripts/bench.sh
 
 # Short fuzz passes: the ISA task-program decoder, and the differential
 # modular-arithmetic fuzzer (Barrett/Shoup/Montgomery vs math/big).

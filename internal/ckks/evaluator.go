@@ -173,6 +173,43 @@ func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
 	return out
 }
 
+// MulPlainAcc accumulates ct ⊙ pt into acc in place (acc += ct ⊙ pt) using
+// the ring's fused multiply-accumulate kernel, avoiding the temporary
+// ciphertext and extra coefficient pass that MulPlain followed by Add would
+// cost. acc's scale must already equal ct.Scale·pt.Scale; acc is truncated
+// in place when ct or pt sits at a lower level. The result is bit-identical
+// to Add(acc, MulPlain(ct, pt)).
+func (ev *Evaluator) MulPlainAcc(ct *Ciphertext, pt *Plaintext, acc *Ciphertext) {
+	if !sameScale(acc.Scale, ct.Scale*pt.Scale) {
+		panic(fmt.Sprintf("ckks: scale mismatch in MulPlainAcc: %g vs %g", acc.Scale, ct.Scale*pt.Scale))
+	}
+	lvl := ct.Level()
+	if pt.Level() < lvl {
+		lvl = pt.Level()
+	}
+	if acc.Level() > lvl {
+		acc.DropLevel(acc.Level() - lvl)
+	}
+	r := ev.params.RingQP()
+	r.MulCoeffsAdd(atLevel(ct.C0, acc.Level()), atLevel(pt.Value, acc.Level()), acc.C0)
+	r.MulCoeffsAdd(atLevel(ct.C1, acc.Level()), atLevel(pt.Value, acc.Level()), acc.C1)
+}
+
+// AddAcc adds b into acc in place (acc += b), sparing the fresh allocation
+// of Add. Scales must match; acc is truncated in place when b sits at a
+// lower level.
+func (ev *Evaluator) AddAcc(b *Ciphertext, acc *Ciphertext) {
+	if !sameScale(acc.Scale, b.Scale) {
+		panic(fmt.Sprintf("ckks: scale mismatch in AddAcc: %g vs %g", acc.Scale, b.Scale))
+	}
+	if acc.Level() > b.Level() {
+		acc.DropLevel(acc.Level() - b.Level())
+	}
+	r := ev.params.RingQP()
+	r.Add(acc.C0, atLevel(b.C0, acc.Level()), acc.C0)
+	r.Add(acc.C1, atLevel(b.C1, acc.Level()), acc.C1)
+}
+
 // MulByConst multiplies every slot by scalar c, encoding c at the default
 // scale. The result's scale is ct.Scale · DefaultScale; Rescale afterwards.
 func (ev *Evaluator) MulByConst(ct *Ciphertext, c float64) *Ciphertext {
@@ -415,7 +452,6 @@ func (h *hoistedDecomp) permute(r *ring.Ring, perm []int) *hoistedDecomp {
 // switching key and performs the ModDown.
 func (ev *Evaluator) ksFromDecomp(h *hoistedDecomp, swk *SwitchingKey) (out0, out1 *ring.Poly) {
 	r := ev.params.RingQP()
-	n := r.N
 	acc0 := make([][]uint64, h.lvl+2)
 	acc1 := make([][]uint64, h.lvl+2)
 	// Each accumulator row jj is independent: it folds every digit i over
@@ -431,11 +467,14 @@ func (ev *Evaluator) ksFromDecomp(h *hoistedDecomp, swk *SwitchingKey) (out0, ou
 			ext := h.digits[i][jj]
 			kb := swk.DigitsB[i].Coeffs[tblIdx]
 			ka := swk.DigitsA[i].Coeffs[tblIdx]
-			for t := 0; t < n; t++ {
-				a0[t] = ring.AddMod(a0[t], m.MulModBarrett(ext[t], kb[t]), qj)
-				a1[t] = ring.AddMod(a1[t], m.MulModBarrett(ext[t], ka[t]), qj)
-			}
+			// Lazy fused MAC: rows stay in [0, 2q) across the whole digit
+			// fold, deferring the canonicalizing subtraction to one sweep
+			// per row instead of one per multiply.
+			m.MulAddRowLazy(a0, ext, kb)
+			m.MulAddRowLazy(a1, ext, ka)
 		}
+		ring.ReduceFinalVec(a0, qj)
+		ring.ReduceFinalVec(a1, qj)
 		//lint:allow poolleak accumulator rows are released below via PutRow(acc0[jj]) after the ModDown consumes them
 		acc0[jj], acc1[jj] = a0, a1
 	})

@@ -138,9 +138,9 @@ func (lt *LinearTransform) Evaluate(eval *ckks.Evaluator, enc *ckks.Encoder, ct 
 	var acc *ckks.Ciphertext
 	for _, term := range terms {
 		if acc == nil {
-			acc = term
+			acc = term // freshly built above; safe to mutate as the accumulator
 		} else {
-			acc = eval.Add(acc, term)
+			eval.AddAcc(term, acc)
 		}
 	}
 	if acc == nil {
@@ -207,11 +207,13 @@ func (lt *LinearTransform) EvaluateBSGS(eval *ckks.Evaluator, enc *ckks.Encoder,
 				if err != nil {
 					return err
 				}
-				term := eval.MulPlain(babyOf(j), pt)
+				// First diagonal creates the accumulator; the rest fold in
+				// through the fused multiply-accumulate kernel, one pass per
+				// term instead of a multiply pass plus an add pass.
 				if inner == nil {
-					inner = term
+					inner = eval.MulPlain(babyOf(j), pt)
 				} else {
-					inner = eval.Add(inner, term)
+					eval.MulPlainAcc(babyOf(j), pt, inner)
 				}
 			}
 			if g != 0 {
@@ -227,9 +229,9 @@ func (lt *LinearTransform) EvaluateBSGS(eval *ckks.Evaluator, enc *ckks.Encoder,
 	var acc *ckks.Ciphertext
 	for _, inner := range inners {
 		if acc == nil {
-			acc = inner
+			acc = inner // fresh per-group result; safe to mutate in place
 		} else {
-			acc = eval.Add(acc, inner)
+			eval.AddAcc(inner, acc)
 		}
 	}
 	if acc == nil {

@@ -89,11 +89,11 @@ func PCMM(eval *ckks.Evaluator, enc *ckks.Encoder, ctX *ckks.Ciphertext, w [][]f
 		if d != 0 {
 			rotated = eval.Rotate(ctX, d*k)
 		}
-		term := eval.MulPlain(rotated, pt)
+		// Fused multiply-accumulate after the first diagonal seeds acc.
 		if acc == nil {
-			acc = term
+			acc = eval.MulPlain(rotated, pt)
 		} else {
-			acc = eval.Add(acc, term)
+			eval.MulPlainAcc(rotated, pt, acc)
 		}
 	}
 	return eval.Rescale(acc), nil
@@ -236,9 +236,9 @@ func CCMM(eval *ckks.Evaluator, enc *ckks.Encoder, ctX, ctZ *ckks.Ciphertext) (*
 		}
 		term := eval.MulRelin(aligned, bd)
 		if acc == nil {
-			acc = term
+			acc = term // fresh MulRelin output; safe to mutate in place
 		} else {
-			acc = eval.Add(acc, term)
+			eval.AddAcc(term, acc)
 		}
 	}
 	return eval.Rescale(acc), nil

@@ -76,7 +76,7 @@ func (p *Pass) InPkg(rels ...string) bool {
 
 // Checks returns the full registry in reporting order.
 func Checks() []*Check {
-	return []*Check{RawMod, PoolLeak, RawGo, FloatExact, ErrDrop, DeadAssign}
+	return []*Check{RawMod, LazyBound, PoolLeak, RawGo, FloatExact, ErrDrop, DeadAssign}
 }
 
 // CheckNames returns the names of all registered checks.

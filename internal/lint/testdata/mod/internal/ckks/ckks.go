@@ -36,6 +36,42 @@ func okScalarSetup(p, q uint64) uint64 {
 	return p % q
 }
 
+// lazybound: a lazy product flows straight into a canonical-input consumer
+// and the function has no closing sweep.
+func badLazyFlow(a, w, ws, q uint64) uint64 {
+	return ring.AddMod(ring.MulModShoupLazy(a, w, ws, q), 0, q) // want lazybound
+}
+
+// lazybound: same escape through a Lazy-suffixed variable.
+func badLazyVar(a, w, ws, q uint64) uint64 {
+	vLazy := ring.MulModShoupLazy(a, w, ws, q)
+	return ring.AddMod(vLazy, 0, q) // want lazybound
+}
+
+// lazybound: canonicalizing through ReduceFinal before the consumer is the
+// sanctioned shape.
+func okLazySwept(a, w, ws, q uint64) uint64 {
+	v := ring.ReduceFinal(ring.MulModShoupLazy(a, w, ws, q), q)
+	return ring.AddMod(v, 0, q)
+}
+
+// lazybound: a row-wide window closed by ReduceFinalVec sanctions the whole
+// function.
+func okLazyWindow(row []uint64, w, ws, q uint64) uint64 {
+	for i := range row {
+		row[i] = ring.MulModShoupLazy(row[i], w, ws, q)
+	}
+	ring.ReduceFinalVec(row, q)
+	return ring.AddMod(row[0], 0, q)
+}
+
+// lazybound: a suppressed case — the consumer documents tolerance for lazy
+// inputs.
+func okLazyAllowed(a, w, ws, q uint64) uint64 {
+	//lint:allow lazybound testdata: consumer tolerates [0,2q) inputs by contract
+	return ring.AddMod(ring.MulModShoupLazy(a, w, ws, q), 0, q)
+}
+
 type holder struct {
 	buf []uint64
 }

@@ -49,6 +49,37 @@ func AddMod(a, b, q uint64) uint64 {
 	return c
 }
 
+// ReduceFinal mimics the canonicalizing sweep of the lazy family.
+func ReduceFinal(a, q uint64) uint64 {
+	if a >= q {
+		a -= q
+	}
+	return a
+}
+
+// ReduceFinalVec mimics the row-wide sweep.
+func ReduceFinalVec(a []uint64, q uint64) {
+	for i, v := range a {
+		if v >= q {
+			a[i] = v - q
+		}
+	}
+}
+
+// AddModLazy mimics the lazy adder: result in [0, twoQ).
+func AddModLazy(a, b, twoQ uint64) uint64 {
+	c := a + b
+	if c >= twoQ {
+		c -= twoQ
+	}
+	return c
+}
+
+// MulModShoupLazy mimics the lazy Shoup multiplier: result in [0, 2q).
+func MulModShoupLazy(a, w, wShoup, q uint64) uint64 {
+	return a*w - (a*wShoup>>1)*q // stub arithmetic; bounds are not the point here
+}
+
 // floatexact: a true positive...
 func badScale(x float64) float64 {
 	return x * 1.5 // want floatexact

@@ -1,8 +1,9 @@
 // Package ring implements the polynomial-ring arithmetic substrate used by
 // the CKKS scheme and by the Hydra accelerator model: 64-bit modular
-// arithmetic (Barrett and Shoup reductions), negacyclic NTT in radix-2 and
-// radix-4 (fused two-stage) variants, RNS polynomials over a chain of
-// NTT-friendly primes, and Galois automorphisms.
+// arithmetic (Barrett and Shoup reductions, lazy [0,2q) variants, fused
+// multiply-accumulate kernels), the negacyclic NTT (merged-twist lazy
+// radix-4 default plus radix-2/radix-4 reference kernels), RNS polynomials
+// over a chain of NTT-friendly primes, and Galois automorphisms.
 //
 // All moduli are required to satisfy q < 2^62 so that lazy additions of up to
 // four residues never overflow a uint64.
@@ -127,10 +128,98 @@ func (m Modulus) Reduce128(hi, lo uint64) uint64 {
 	return r
 }
 
+// Reduce128Lazy is Reduce128 with the correction loop replaced by a single
+// conditional subtraction of 2q, returning a lazy residue in [0, 2q). The
+// quotient estimate can be short by up to two (one from flooring the true
+// quotient, one from the discarded low partial products), so the raw
+// remainder lies in [0, 3q); folding the 2q case down keeps every lazy
+// accumulator within the 4q < 2^64 transient budget. The input must be
+// below q*2^64.
+func (m Modulus) Reduce128Lazy(hi, lo uint64) uint64 {
+	mh1, _ := bits.Mul64(lo, m.BarrettLo)
+	mh2, ml2 := bits.Mul64(lo, m.BarrettHi)
+	mh3, ml3 := bits.Mul64(hi, m.BarrettLo)
+	_, hl := bits.Mul64(hi, m.BarrettHi)
+
+	carry := uint64(0)
+	s, c := bits.Add64(mh1, ml2, 0)
+	carry += c
+	_, c = bits.Add64(s, ml3, 0)
+	carry += c
+
+	qlo, _ := bits.Add64(mh2, mh3, carry)
+	qlo, _ = bits.Add64(qlo, hl, 0)
+	r := lo - qlo*m.Q
+	if twoQ := m.Q << 1; r >= twoQ {
+		r -= twoQ
+	}
+	return r
+}
+
 // Reduce64 reduces the single-word value a modulo q using the Barrett
 // constant (multiplies only, no hardware division). a may be any uint64.
 func (m Modulus) Reduce64(a uint64) uint64 {
 	return m.Reduce128(0, a)
+}
+
+// MulAddLazy returns acc + a*b as a lazy residue in [0, 2q): a fused
+// Barrett multiply-accumulate for operand pairs without Shoup tables (both
+// sides variable, e.g. digit × switching-key rows). acc must be in [0, 2q)
+// and the product a*b below q*2^64; the transient sum is < 4q < 2^64.
+func (m Modulus) MulAddLazy(acc, a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	c := acc + m.Reduce128Lazy(hi, lo)
+	if twoQ := m.Q << 1; c >= twoQ {
+		c -= twoQ
+	}
+	return c
+}
+
+// MulSubLazy returns acc - a*b as a lazy residue in [0, 2q), under the same
+// contract as MulAddLazy.
+func (m Modulus) MulSubLazy(acc, a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	twoQ := m.Q << 1
+	c := acc + twoQ - m.Reduce128Lazy(hi, lo)
+	if c >= twoQ {
+		c -= twoQ
+	}
+	return c
+}
+
+// MulAddRowLazy is the row-wide form of MulAddLazy:
+// acc[j] += a[j]*b[j] for whole rows, with every acc element lazy in
+// [0, 2q) on entry and on return (the multiply stays inlined here, so each
+// element costs a single Barrett-reduction call). It is the inner kernel of
+// the keyswitch digit inner product; close the window with ReduceFinalVec.
+func (m Modulus) MulAddRowLazy(acc, a, b []uint64) {
+	twoQ := m.Q << 1
+	a = a[:len(acc)]
+	b = b[:len(acc)]
+	for j := range acc {
+		hi, lo := bits.Mul64(a[j], b[j])
+		c := acc[j] + m.Reduce128Lazy(hi, lo)
+		if c >= twoQ {
+			c -= twoQ
+		}
+		acc[j] = c
+	}
+}
+
+// MulSubRowLazy is the row-wide form of MulSubLazy: acc[j] -= a[j]*b[j]
+// under the same lazy contract as MulAddRowLazy.
+func (m Modulus) MulSubRowLazy(acc, a, b []uint64) {
+	twoQ := m.Q << 1
+	a = a[:len(acc)]
+	b = b[:len(acc)]
+	for j := range acc {
+		hi, lo := bits.Mul64(a[j], b[j])
+		c := acc[j] + twoQ - m.Reduce128Lazy(hi, lo)
+		if c >= twoQ {
+			c -= twoQ
+		}
+		acc[j] = c
+	}
 }
 
 // ShoupPrecomp returns floor(w * 2^64 / q), the Shoup multiplier for the
@@ -140,9 +229,11 @@ func ShoupPrecomp(w, q uint64) uint64 {
 	return s
 }
 
-// MulModShoup returns a*w mod q where wShoup = ShoupPrecomp(w, q). Requires
-// q < 2^63 and a < 2q (lazy input allowed); the result is < 2q when lazy is
-// true of the caller's contract, here we fully reduce.
+// MulModShoup returns the canonical a*w mod q where w < q and
+// wShoup = ShoupPrecomp(w, q). a may be any uint64 (lazy inputs allowed):
+// the quotient estimate floor(a*wShoup / 2^64) is short by at most one, so
+// the raw remainder lies in [0, 2q) and one conditional subtraction
+// canonicalizes it.
 func MulModShoup(a, w, wShoup, q uint64) uint64 {
 	hi, _ := bits.Mul64(a, wShoup)
 	r := a*w - hi*q
@@ -150,6 +241,80 @@ func MulModShoup(a, w, wShoup, q uint64) uint64 {
 		r -= q
 	}
 	return r
+}
+
+// Lazy-bound arithmetic.
+//
+// The helpers below operate on "lazy" residues: values congruent to the
+// canonical representative mod q but allowed to float in [0, 2q). Skipping
+// the final conditional subtraction halves the correction work in tight
+// kernels (Harvey's lazy butterflies, fused multiply-accumulate chains);
+// the q < 2^62 package contract guarantees that even a transient sum of
+// four residues (< 4q) cannot overflow a uint64. Every lazy window must end
+// with a ReduceFinal sweep (or feed the NTT kernels, which fold the sweep
+// into their last pass) before the values become externally visible.
+
+// ReduceFinal canonicalizes a lazy residue: a ∈ [0, 2q) in, a mod q out.
+// It is the mandatory closing sweep of every lazy-accumulation window.
+func ReduceFinal(a, q uint64) uint64 {
+	if a >= q {
+		a -= q
+	}
+	return a
+}
+
+// ReduceFinalVec canonicalizes a whole row of lazy residues in place:
+// every element must be in [0, 2q) on entry and is in [0, q) on return.
+func ReduceFinalVec(a []uint64, q uint64) {
+	for i, v := range a {
+		// Unconditional store so the correction compiles to a branchless
+		// conditional move: residues are effectively random, and a 50/50
+		// data-dependent branch would dominate the sweep.
+		if v >= q {
+			v -= q
+		}
+		a[i] = v
+	}
+}
+
+// AddModLazy returns a+b as a lazy residue: a, b ∈ [0, 2q) in, result in
+// [0, 2q). twoQ must be 2q; the transient sum is < 4q < 2^64.
+func AddModLazy(a, b, twoQ uint64) uint64 {
+	c := a + b
+	if c >= twoQ {
+		c -= twoQ
+	}
+	return c
+}
+
+// SubModLazy returns a-b as a lazy residue: a, b ∈ [0, 2q) in, result in
+// [0, 2q). twoQ must be 2q.
+func SubModLazy(a, b, twoQ uint64) uint64 {
+	c := a + twoQ - b
+	if c >= twoQ {
+		c -= twoQ
+	}
+	return c
+}
+
+// MulModShoupLazy is MulModShoup without the final correction: a may be any
+// uint64 and the result is a lazy residue in [0, 2q). This is the butterfly
+// multiplier of the lazy NTT kernels.
+func MulModShoupLazy(a, w, wShoup, q uint64) uint64 {
+	hi, _ := bits.Mul64(a, wShoup)
+	return a*w - hi*q
+}
+
+// MulAddShoupLazy returns acc + a*w as a lazy residue: acc ∈ [0, 2q) in,
+// result in [0, 2q) — a fused Shoup multiply-accumulate (one load-mul-add
+// chain instead of a multiply pass and an add pass).
+func MulAddShoupLazy(acc, a, w, wShoup, q uint64) uint64 {
+	hi, _ := bits.Mul64(a, wShoup)
+	c := acc + a*w - hi*q // < 4q, within the uint64 budget
+	if twoQ := q << 1; c >= twoQ {
+		c -= twoQ
+	}
+	return c
 }
 
 // PowMod returns a^e mod q.

@@ -105,6 +105,56 @@ func FuzzModularOps(f *testing.F) {
 			t.Fatalf("PowMod(%d, %d, %d) = %d, want %d", ar, e, q, got, wantPow)
 		}
 
+		// Lazy helpers: every result must (1) be congruent to the math/big
+		// value mod q and (2) respect its documented bound, so that the
+		// canonicalizing ReduceFinal sweep recovers the exact residue.
+		twoQ := 2 * q
+		checkLazy := func(name string, got uint64, want *big.Int, bound uint64) {
+			t.Helper()
+			if got >= bound {
+				t.Fatalf("%s = %d exceeds bound %d (q=%d)", name, got, bound, q)
+			}
+			if got%q != ref(want) {
+				t.Fatalf("%s = %d ≢ %d mod %d", name, got, ref(want), q)
+			}
+		}
+		la, lb := ar+q*(a%2), br+q*(b%2) // lazy lifts in [0, 2q)
+		bigSum := new(big.Int).Add(bigA, bigB)
+		checkLazy("AddModLazy", AddModLazy(la, lb, twoQ), bigSum, twoQ)
+		checkLazy("SubModLazy", SubModLazy(la, lb, twoQ), new(big.Int).Sub(bigA, bigB), twoQ)
+		if got, want := ReduceFinal(la, q), ar; got != want {
+			t.Fatalf("ReduceFinal(%d, %d) = %d, want %d", la, q, got, want)
+		}
+		vec := []uint64{la, lb}
+		ReduceFinalVec(vec, q)
+		if vec[0] != ar || vec[1] != br {
+			t.Fatalf("ReduceFinalVec([%d %d], %d) = %v, want [%d %d]", la, lb, q, vec, ar, br)
+		}
+		bigProdAny := new(big.Int).Mul(new(big.Int).SetUint64(a), bigB)
+		checkLazy("MulModShoupLazy", MulModShoupLazy(a, br, bShoup, q), bigProdAny, twoQ)
+		bigMac := new(big.Int).Add(new(big.Int).SetUint64(la), bigProdAny)
+		checkLazy("MulAddShoupLazy", MulAddShoupLazy(la, a, br, bShoup, q), bigMac, twoQ)
+
+		// Reduce128Lazy and the fused Barrett MACs, under the q*2^64 product
+		// contract (guaranteed here since both factors are < q).
+		bigProd := new(big.Int).Mul(bigA, bigB)
+		phi := new(big.Int).Rsh(bigProd, 64).Uint64()
+		plo := bigProd.Uint64()
+		checkLazy("Reduce128Lazy", m.Reduce128Lazy(phi, plo), bigProd, twoQ)
+		checkLazy("MulAddLazy", m.MulAddLazy(la, ar, br), new(big.Int).Add(new(big.Int).SetUint64(la), bigProd), twoQ)
+		checkLazy("MulSubLazy", m.MulSubLazy(la, ar, br), new(big.Int).Sub(new(big.Int).SetUint64(la), bigProd), twoQ)
+
+		// Row-wide forms must agree exactly with their scalar counterparts.
+		addRow, subRow := []uint64{la, lb}, []uint64{la, lb}
+		m.MulAddRowLazy(addRow, []uint64{ar, br}, []uint64{br, ar})
+		m.MulSubRowLazy(subRow, []uint64{ar, br}, []uint64{br, ar})
+		if addRow[0] != m.MulAddLazy(la, ar, br) || addRow[1] != m.MulAddLazy(lb, br, ar) {
+			t.Fatalf("MulAddRowLazy diverges from MulAddLazy: %v", addRow)
+		}
+		if subRow[0] != m.MulSubLazy(la, ar, br) || subRow[1] != m.MulSubLazy(lb, br, ar) {
+			t.Fatalf("MulSubRowLazy diverges from MulSubLazy: %v", subRow)
+		}
+
 		// A CT butterfly (x + w·y, x − w·y) composed from Shoup mul, as the
 		// NTT inner loops do, checked end to end against math/big.
 		w := br

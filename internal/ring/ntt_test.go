@@ -76,6 +76,68 @@ func TestNTTRadix4MatchesRadix2(t *testing.T) {
 	}
 }
 
+// TestMergedKernelBitIdentity is the merged-twist/lazy kernel's oracle test:
+// for every LogN in 1..14 and both directions, the default kernels must be
+// bit-identical to the five-pass radix-2 reference on random inputs, and the
+// round trip must restore the input exactly.
+func TestMergedKernelBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for logN := 1; logN <= 14; logN++ {
+		n := 1 << logN
+		q := GenerateNTTPrimes(45, n, 1)[0]
+		tbl := NewNTTTable(n, q, PrimitiveRoot2N(n, q))
+		for trial := 0; trial < 4; trial++ {
+			orig := randomCoeffs(rng, n, q)
+			fast := append([]uint64(nil), orig...)
+			ref := append([]uint64(nil), orig...)
+
+			tbl.Forward(fast)
+			tbl.ForwardReference(ref)
+			for i := range fast {
+				if fast[i] != ref[i] {
+					t.Fatalf("logN=%d trial=%d: forward differs at %d: %d != %d", logN, trial, i, fast[i], ref[i])
+				}
+			}
+
+			tbl.Inverse(fast)
+			tbl.InverseReference(ref)
+			for i := range fast {
+				if fast[i] != ref[i] {
+					t.Fatalf("logN=%d trial=%d: inverse differs at %d: %d != %d", logN, trial, i, fast[i], ref[i])
+				}
+				if fast[i] != orig[i] {
+					t.Fatalf("logN=%d trial=%d: round trip differs at %d: %d != %d", logN, trial, i, fast[i], orig[i])
+				}
+			}
+		}
+	}
+}
+
+// TestForwardAcceptsLazyInput pins the lazy-input contract of the merged
+// forward kernel: residues lifted by q or 2q (still < 4q) must transform to
+// the same canonical output as their canonical representatives. The
+// evaluator's ModDown/rescale paths rely on this to skip their own final
+// corrections before re-entering the NTT domain.
+func TestForwardAcceptsLazyInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, n := range []int{8, 64, 1024} {
+		q := GenerateNTTPrimes(45, n, 1)[0]
+		tbl := NewNTTTable(n, q, PrimitiveRoot2N(n, q))
+		a := randomCoeffs(rng, n, q)
+		lazy := make([]uint64, n)
+		for i, v := range a {
+			lazy[i] = v + q*uint64(rng.Intn(3)) // [0, 3q) ⊂ [0, 4q)
+		}
+		tbl.Forward(a)
+		tbl.Forward(lazy)
+		for i := range a {
+			if a[i] != lazy[i] {
+				t.Fatalf("n=%d: lazy input diverged at %d: %d != %d", n, i, lazy[i], a[i])
+			}
+		}
+	}
+}
+
 func TestNTTConvolutionMatchesNaive(t *testing.T) {
 	rng := rand.New(rand.NewSource(12))
 	for _, n := range []int{4, 16, 64} {

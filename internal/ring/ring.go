@@ -248,7 +248,9 @@ func (r *Ring) MulScalar(a *Poly, s uint64, out *Poly) {
 	out.IsNTT = a.IsNTT
 }
 
-// NTT transforms p (in place) to the evaluation domain.
+// NTT transforms p (in place) to the evaluation domain using the default
+// merged-twist lazy radix-4 kernel (see NTTTable.Forward). Residues may be
+// lazy (< 4q) on entry; they are canonical on return.
 func (r *Ring) NTT(p *Poly) {
 	if p.IsNTT {
 		panic("ring: polynomial already in NTT domain")
@@ -259,7 +261,10 @@ func (r *Ring) NTT(p *Poly) {
 	p.IsNTT = true
 }
 
-// NTTRadix4 is NTT using the fused radix-4 forward kernel.
+// NTTRadix4 is NTT using the previous-generation radix-4 kernel (separate
+// twist and bit-reverse passes, full reductions). Kept as the ablation
+// baseline the merged default is benchmarked against; new code should call
+// NTT.
 func (r *Ring) NTTRadix4(p *Poly) {
 	if p.IsNTT {
 		panic("ring: polynomial already in NTT domain")

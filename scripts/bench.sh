@@ -1,0 +1,68 @@
+#!/bin/sh
+# Kernel benchmark harness: runs the serial/parallel ring + ckks benchmark
+# pairs (NTT kernel generations, fused MAC, CMult/relinearization, hoisted
+# rotations) and emits the parsed results as machine-readable JSON with
+# ns/op, B/op and allocs/op per benchmark. EXPERIMENTS.md tables are derived
+# from this output.
+#
+# Usage: scripts/bench.sh [smoke]
+#   smoke    run every benchmark for a single iteration (-benchtime=1x):
+#            the CI gate that keeps the harness and the JSON writer working
+#            without paying full measurement time.
+#
+# Environment:
+#   BENCH_OUT    output path (default BENCH_ring.json at the repo root)
+#   BENCHTIME    go test -benchtime value (default 1s; smoke forces 1x)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=${BENCH_OUT:-BENCH_ring.json}
+BENCHTIME=${BENCHTIME:-1s}
+if [ "${1:-}" = "smoke" ]; then
+	BENCHTIME=1x
+fi
+
+PATTERN='^(BenchmarkNTT|BenchmarkINTT|BenchmarkMulCoeffsAdd|BenchmarkCMultRelin|BenchmarkCMultParallel|BenchmarkRotationsDirect|BenchmarkRotationsHoisted)'
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" \
+	./internal/ring/ ./internal/ckks/ | tee "$RAW"
+
+awk -v benchtime="$BENCHTIME" '
+/^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
+/^goos:/ { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = ""; bop = ""; aop = ""
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op") ns = $(i-1)
+		else if ($i == "B/op") bop = $(i-1)
+		else if ($i == "allocs/op") aop = $(i-1)
+	}
+	if (ns == "") next
+	entry = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns)
+	if (bop != "") entry = entry sprintf(", \"bytes_per_op\": %s", bop)
+	if (aop != "") entry = entry sprintf(", \"allocs_per_op\": %s", aop)
+	entry = entry "}"
+	entries[n++] = entry
+}
+END {
+	print "{"
+	printf "  \"goos\": \"%s\",\n", goos
+	printf "  \"goarch\": \"%s\",\n", goarch
+	printf "  \"cpu\": \"%s\",\n", cpu
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	print "  \"benchmarks\": ["
+	for (i = 0; i < n; i++)
+		printf "%s%s\n", entries[i], (i < n-1 ? "," : "")
+	print "  ]"
+	print "}"
+}
+' "$RAW" >"$OUT"
+
+echo "bench: wrote $(grep -c '"name"' "$OUT") results to $OUT"

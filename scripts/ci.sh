@@ -26,4 +26,9 @@ go test -race "$@" \
 echo "== go test (full tier-1 suite)"
 go test ./...
 
+echo "== bench harness smoke (1 iteration per benchmark)"
+# Write to a scratch path: the smoke run validates the harness and the JSON
+# writer without clobbering the checked-in measured BENCH_ring.json.
+BENCH_OUT="$(mktemp)" sh scripts/bench.sh smoke >/dev/null
+
 echo "ci: OK"
