@@ -36,10 +36,10 @@ ci:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
-# Machine-readable kernel benchmarks: the serial/parallel ring + ckks pairs,
-# parsed into BENCH_ring.json (ns/op, B/op, allocs/op). EXPERIMENTS.md
-# numbers come from this harness; `scripts/bench.sh smoke` is the 1-iteration
-# CI variant.
+# Machine-readable kernel benchmarks: the ring, ckks and hefloat suites,
+# parsed into BENCH_ring.json, BENCH_ckks.json and BENCH_hefloat.json
+# (ns/op, B/op, allocs/op). EXPERIMENTS.md numbers come from this harness;
+# `scripts/bench.sh smoke` is the 1-iteration CI variant.
 bench-json:
 	sh scripts/bench.sh
 

@@ -122,3 +122,25 @@ func BenchmarkRotationsHoisted(b *testing.B) {
 		tc.eval.RotateHoisted(ct, rots)
 	}
 }
+
+// BenchmarkRotationsHoistedExt is the double-hoisted variant of
+// BenchmarkRotationsHoisted: the same 8 rotations stay in the extended
+// Q·P basis and are folded into one accumulator, paying a single deferred
+// ModDown instead of one per rotation.
+func BenchmarkRotationsHoistedExt(b *testing.B) {
+	tc := newTestContext(b, 12, 4, []int{1, 2, 3, 4, 5, 6, 7, 8})
+	vals := randomComplex(tc.params.Slots(), 10)
+	pt, _ := tc.enc.Encode(vals)
+	ct := tc.encr.Encrypt(pt)
+	rots := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exts := tc.eval.RotateHoistedExt(ct, rots)
+		acc := exts[rots[0]]
+		for _, rot := range rots[1:] {
+			tc.eval.AddExtAcc(exts[rot], acc)
+			tc.eval.ReleaseExt(exts[rot])
+		}
+		tc.eval.ModDownExt(acc)
+	}
+}

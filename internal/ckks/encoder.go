@@ -106,15 +106,13 @@ func bitReverseComplex(vals []complex128) {
 	}
 }
 
-// EncodeAtLevel encodes values (len ≤ Slots()) into a fresh plaintext at the
-// given level with the given scale. Shorter inputs are zero-padded.
-func (e *Encoder) EncodeAtLevel(values []complex128, scale float64, level int) (*Plaintext, error) {
+// encodeToCoeffs runs the canonical-embedding FFT and scaling, returning the
+// signed integer coefficients of the encoded polynomial — the level-agnostic
+// front half shared by EncodeAtLevel and EncodeExtAtLevel.
+func (e *Encoder) encodeToCoeffs(values []complex128, scale float64) ([]*big.Int, error) {
 	slots := e.params.Slots()
 	if len(values) > slots {
 		return nil, fmt.Errorf("ckks: %d values exceed %d slots", len(values), slots)
-	}
-	if level < 0 || level > e.params.MaxLevel() {
-		return nil, fmt.Errorf("ckks: level %d out of range", level)
 	}
 	buf := make([]complex128, slots)
 	copy(buf, values)
@@ -131,10 +129,75 @@ func (e *Encoder) EncodeAtLevel(values []complex128, scale float64, level int) (
 		setScaledFloat(coeffs[j*gap], real(buf[j])*scale)
 		setScaledFloat(coeffs[nh+j*gap], imag(buf[j])*scale)
 	}
+	return coeffs, nil
+}
+
+// EncodeAtLevel encodes values (len ≤ Slots()) into a fresh plaintext at the
+// given level with the given scale. Shorter inputs are zero-padded.
+func (e *Encoder) EncodeAtLevel(values []complex128, scale float64, level int) (*Plaintext, error) {
+	if level < 0 || level > e.params.MaxLevel() {
+		return nil, fmt.Errorf("ckks: level %d out of range", level)
+	}
+	coeffs, err := e.encodeToCoeffs(values, scale)
+	if err != nil {
+		return nil, err
+	}
 	poly := e.params.RingQP().NewPoly(level)
 	e.params.RingQP().SetBigInt(coeffs, poly)
 	e.params.RingQP().NTT(poly)
 	return &Plaintext{Value: poly, Scale: scale}, nil
+}
+
+// ExtPlaintext is a plaintext encoded over the extended basis q_0..q_level, P:
+// the operand form that multiplies extended-basis keyswitch accumulators
+// (ExtCiphertext) without leaving the P·Q domain. Rows[0..Lvl] are the q_i
+// residues and Rows[Lvl+1] the residue mod P, all NTT-domain canonical.
+// ExtPlaintexts are heap-allocated (not pooled): they live in compiled
+// transform plans and are reused across evaluations.
+type ExtPlaintext struct {
+	Lvl   int
+	Rows  [][]uint64
+	Scale float64
+}
+
+// row returns the residue row for ring table index tblIdx, where special is
+// the table index of P.
+func (p *ExtPlaintext) row(tblIdx, special int) []uint64 {
+	if tblIdx == special {
+		return p.Rows[p.Lvl+1]
+	}
+	return p.Rows[tblIdx]
+}
+
+// EncodeExtAtLevel encodes values into an extended-basis plaintext at the
+// given level: the same canonical-embedding encode as EncodeAtLevel plus the
+// extra residue row mod P that the double-hoisted keyswitch path consumes.
+func (e *Encoder) EncodeExtAtLevel(values []complex128, scale float64, level int) (*ExtPlaintext, error) {
+	if level < 0 || level > e.params.MaxLevel() {
+		return nil, fmt.Errorf("ckks: level %d out of range", level)
+	}
+	coeffs, err := e.encodeToCoeffs(values, scale)
+	if err != nil {
+		return nil, err
+	}
+	r := e.params.RingQP()
+	pIdx := e.params.SpecialIndex()
+	rows := make([][]uint64, level+2)
+	ring.ForEachLimb(level+2, func(jj int) {
+		tblIdx := jj
+		if jj == level+1 {
+			tblIdx = pIdx
+		}
+		q := new(big.Int).SetUint64(r.Moduli[tblIdx])
+		tmp := new(big.Int)
+		row := make([]uint64, r.N)
+		for t := range row {
+			row[t] = tmp.Mod(coeffs[t], q).Uint64()
+		}
+		r.Tables[tblIdx].Forward(row)
+		rows[jj] = row
+	})
+	return &ExtPlaintext{Lvl: level, Rows: rows, Scale: scale}, nil
 }
 
 // Encode encodes at the maximum ciphertext level with the default scale.

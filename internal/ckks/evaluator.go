@@ -15,7 +15,9 @@ type Evaluator struct {
 	rlk    *RelinearizationKey
 	rtks   *RotationKeySet
 
-	pInvModQi []uint64 // P^-1 mod q_i
+	pInvModQi   []uint64 // P^-1 mod q_i
+	pModQi      []uint64 // P mod q_i (lifts c0 into the extended basis)
+	pModQiShoup []uint64
 }
 
 // NewEvaluator builds an evaluator. rlk and rtks may be nil if multiplication
@@ -23,9 +25,15 @@ type Evaluator struct {
 func NewEvaluator(params *Parameters, rlk *RelinearizationKey, rtks *RotationKeySet) *Evaluator {
 	r := params.RingQP()
 	ev := &Evaluator{params: params, rlk: rlk, rtks: rtks}
-	ev.pInvModQi = make([]uint64, len(params.Q()))
-	for i := range ev.pInvModQi {
-		ev.pInvModQi[i] = ring.InvMod(ring.Reduce(params.P(), r.Moduli[i]), r.Moduli[i])
+	nq := len(params.Q())
+	ev.pInvModQi = make([]uint64, nq)
+	ev.pModQi = make([]uint64, nq)
+	ev.pModQiShoup = make([]uint64, nq)
+	for i := 0; i < nq; i++ {
+		pq := ring.Reduce(params.P(), r.Moduli[i])
+		ev.pInvModQi[i] = ring.InvMod(pq, r.Moduli[i])
+		ev.pModQi[i] = pq
+		ev.pModQiShoup[i] = ring.ShoupPrecomp(pq, r.Moduli[i])
 	}
 	return ev
 }
@@ -353,12 +361,15 @@ func (ev *Evaluator) automorphism(ct *Ciphertext, k uint64) *Ciphertext {
 	lvl := ct.Level()
 	perm := ring.AutomorphismNTTIndex(r.N, k)
 
-	rc0 := r.NewPoly(lvl)
-	rc1 := r.NewPoly(lvl)
-	r.AutomorphismNTT(ct.C0, perm, rc0)
-	r.AutomorphismNTT(ct.C1, perm, rc1)
+	// The automorphism is fused into the keyswitch MAC as an index gather
+	// (decomposition commutes with the coefficient permutation), so τ_k(c1)
+	// is never materialized.
+	h := ev.decomposeExt(ct.C1)
+	ks0, ks1 := ev.ksFromDecomp(h, perm, swk)
+	h.release(r)
 
-	ks0, ks1 := ev.keySwitch(rc1, swk)
+	rc0 := r.NewPoly(lvl)
+	r.AutomorphismNTT(ct.C0, perm, rc0)
 	r.Add(rc0, ks0, rc0)
 	return &Ciphertext{C0: rc0, C1: ks1, Scale: ct.Scale}
 }
@@ -427,33 +438,17 @@ func (h *hoistedDecomp) release(r *ring.Ring) {
 	h.digits = nil
 }
 
-// permute returns the decomposition of τ_k(d) given the decomposition of d:
-// the automorphism is a coefficient permutation, so it commutes with digit
-// decomposition and acts as the NTT-domain index permutation on every row.
-func (h *hoistedDecomp) permute(r *ring.Ring, perm []int) *hoistedDecomp {
-	out := &hoistedDecomp{lvl: h.lvl, modIdx: h.modIdx, digits: make([][][]uint64, len(h.digits))}
-	ring.ForEachLimb(len(h.digits), func(i int) {
-		rows := h.digits[i]
-		newRows := make([][]uint64, len(rows))
-		for j, row := range rows {
-			nr := r.GetRow()
-			for t := range nr {
-				nr[t] = row[perm[t]]
-			}
-			//lint:allow poolleak permuted rows transfer ownership to the new hoistedDecomp; its release returns them
-			newRows[j] = nr
-		}
-		out.digits[i] = newRows
-	})
-	return out
-}
-
-// ksFromDecomp multiply-accumulates a hoisted decomposition against a
-// switching key and performs the ModDown.
-func (ev *Evaluator) ksFromDecomp(h *hoistedDecomp, swk *SwitchingKey) (out0, out1 *ring.Poly) {
+// ksAccum multiply-accumulates a hoisted decomposition against a switching
+// key in the extended basis, returning canonical accumulator rows from the
+// ring's row pool (callers release them, typically via ModDownExt or after
+// modDownP). When perm is non-nil it is an NTT-domain automorphism index
+// permutation fused into the MAC (acc[t] += digit[perm[t]]·key[t]), which is
+// how hoisted rotations apply τ_k to every digit without materializing the
+// permuted decomposition.
+func (ev *Evaluator) ksAccum(h *hoistedDecomp, perm []int, swk *SwitchingKey) (acc0, acc1 [][]uint64) {
 	r := ev.params.RingQP()
-	acc0 := make([][]uint64, h.lvl+2)
-	acc1 := make([][]uint64, h.lvl+2)
+	acc0 = make([][]uint64, h.lvl+2)
+	acc1 = make([][]uint64, h.lvl+2)
 	// Each accumulator row jj is independent: it folds every digit i over
 	// the same modulus, so the digit order (and hence the bit pattern) is
 	// preserved while rows run on parallel lanes.
@@ -470,14 +465,30 @@ func (ev *Evaluator) ksFromDecomp(h *hoistedDecomp, swk *SwitchingKey) (out0, ou
 			// Lazy fused MAC: rows stay in [0, 2q) across the whole digit
 			// fold, deferring the canonicalizing subtraction to one sweep
 			// per row instead of one per multiply.
-			m.MulAddRowLazy(a0, ext, kb)
-			m.MulAddRowLazy(a1, ext, ka)
+			if perm == nil {
+				m.MulAddRowLazy(a0, ext, kb)
+				m.MulAddRowLazy(a1, ext, ka)
+			} else {
+				m.MulAddRowLazyGather(a0, ext, kb, perm)
+				m.MulAddRowLazyGather(a1, ext, ka, perm)
+			}
 		}
 		ring.ReduceFinalVec(a0, qj)
 		ring.ReduceFinalVec(a1, qj)
-		//lint:allow poolleak accumulator rows are released below via PutRow(acc0[jj]) after the ModDown consumes them
+		//lint:allow poolleak accumulator rows transfer ownership to the caller, which releases them after the deferred ModDown consumes them
 		acc0[jj], acc1[jj] = a0, a1
 	})
+	return acc0, acc1
+}
+
+// ksFromDecomp multiply-accumulates a hoisted decomposition against a
+// switching key (optionally fusing an automorphism gather, see ksAccum) and
+// performs the ModDown immediately — the classic single-hoisted keyswitch.
+// The double-hoisted path instead keeps the ksAccum output in the extended
+// basis (ExtCiphertext) and defers the ModDown across many operations.
+func (ev *Evaluator) ksFromDecomp(h *hoistedDecomp, perm []int, swk *SwitchingKey) (out0, out1 *ring.Poly) {
+	r := ev.params.RingQP()
+	acc0, acc1 := ev.ksAccum(h, perm, swk)
 	out0 = ev.modDownP(acc0, h.modIdx, h.lvl)
 	out1 = ev.modDownP(acc1, h.modIdx, h.lvl)
 	for jj := range acc0 {
@@ -496,7 +507,7 @@ func (ev *Evaluator) ksFromDecomp(h *hoistedDecomp, swk *SwitchingKey) (out0, ou
 // P, multiplied against the key, accumulated, and the result divided by P.
 func (ev *Evaluator) keySwitch(d *ring.Poly, swk *SwitchingKey) (out0, out1 *ring.Poly) {
 	h := ev.decomposeExt(d)
-	out0, out1 = ev.ksFromDecomp(h, swk)
+	out0, out1 = ev.ksFromDecomp(h, nil, swk)
 	h.release(ev.params.RingQP())
 	return out0, out1
 }
@@ -531,9 +542,7 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, rots []int) map[int]*Cipherte
 			h = ev.decomposeExt(ct.C1)
 		}
 		perm := ring.AutomorphismNTTIndex(r.N, k)
-		hp := h.permute(r, perm)
-		ks0, ks1 := ev.ksFromDecomp(hp, swk)
-		hp.release(r)
+		ks0, ks1 := ev.ksFromDecomp(h, perm, swk)
 		rc0 := r.NewPoly(lvl)
 		r.AutomorphismNTT(ct.C0, perm, rc0)
 		r.Add(rc0, ks0, rc0)

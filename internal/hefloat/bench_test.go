@@ -101,3 +101,44 @@ func BenchmarkBootstrap(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkLinearTransformBSGSReference is the single-hoisted per-rotation
+// ModDown path EvaluateBSGS replaced; keeping it benchmarked pins the
+// ablation the double-hoisting EXPERIMENTS.md tables quote.
+func BenchmarkLinearTransformBSGSReference(b *testing.B) {
+	env := benchEnv(b, 9, 3, allRotations(1<<8))
+	lt, _ := NewLinearTransform(seqMatrix(env.params.Slots()))
+	pt, _ := env.enc.Encode(make([]complex128, env.params.Slots()))
+	ct := env.encr.Encrypt(pt)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lt.EvaluateBSGSReference(env.eval, env.enc, ct, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPCMMCompiled measures the weights-resident steady state: the
+// transform is built and its plan compiled once, so each iteration is pure
+// evaluation — the recurring cost of the paper's PCMM recipe.
+func BenchmarkPCMMCompiled(b *testing.B) {
+	env := benchEnv(b, 5, 3, PCMMRotations(4))
+	k := matK(env)
+	x := seqRealMatrix(k, 0.1)
+	w := seqRealMatrix(k, 0.9)
+	pt, _ := PackMatrix(env.enc, x, env.params.MaxLevel(), env.params.DefaultScale())
+	ct := env.encr.Encrypt(pt)
+	lt, err := NewPCMMTransform(w, env.params.Slots())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := lt.EvaluateBSGS(env.eval, env.enc, ct, env.params.Slots()); err != nil {
+		b.Fatal(err) // warm compile: the plan cache is populated before timing
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lt.EvaluateBSGS(env.eval, env.enc, ct, env.params.Slots()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

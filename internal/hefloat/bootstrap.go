@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"sort"
 
 	"hydra/internal/ckks"
 	"hydra/internal/ring"
@@ -63,6 +64,7 @@ func BootstrapRotations(params *ckks.Parameters, opts BootstrapperOptions) []int
 	for r := range set {
 		rots = append(rots, r)
 	}
+	sort.Ints(rots)
 	return rots
 }
 
@@ -141,6 +143,21 @@ func NewBootstrapper(params *ckks.Parameters, enc *ckks.Encoder, eval *ckks.Eval
 		return nil, err
 	}
 	if bt.ltB, err = mk(scaleMat(b, complex(fOut, 0))); err != nil {
+		return nil, err
+	}
+	// Precompile the four CoeffToSlot plans at the ModRaise level so even the
+	// first Bootstrap call encodes nothing for C2S. The SlotToCoeff plans
+	// compile on first use (their input level depends on the sine-evaluation
+	// depth) and are cached thereafter, so steady-state Bootstrap calls
+	// encode no diagonal at all.
+	top := len(params.Q()) - 1
+	compile := func(lt *LinearTransform) func() error {
+		return func() (err error) {
+			_, err = lt.planFor(enc, bt.bs, top, delta)
+			return err
+		}
+	}
+	if err := runConcurrent(compile(bt.ltP), compile(bt.ltQ), compile(bt.ltR), compile(bt.ltS)); err != nil {
 		return nil, err
 	}
 	return bt, nil

@@ -12,6 +12,7 @@ package hefloat
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"hydra/internal/ckks"
 	"hydra/internal/ring"
@@ -38,9 +39,28 @@ func runConcurrent(fns ...func() error) error {
 
 // LinearTransform is a plaintext square matrix held in diagonal form:
 // Diags[d][j] = M[j][(j+d) mod dim]. Only non-zero diagonals are stored.
+//
+// The zero value of the embedded cache is ready to use: compiled plans
+// (pre-shifted, pre-encoded diagonal plaintexts keyed by baby-step count,
+// level and scale) are built on first use and reused across evaluations,
+// including concurrent ones.
 type LinearTransform struct {
 	Dim   int
 	Diags map[int][]complex128
+
+	mu    sync.Mutex
+	plans map[planKey]*TransformPlan
+	naive map[planKey]*naivePlan
+}
+
+// planKey identifies one compiled evaluation of a transform. The parameter
+// set participates so a transform shared between contexts cannot alias plans
+// with incompatible moduli.
+type planKey struct {
+	params *ckks.Parameters
+	bs     int // 0 for the naive (non-BSGS) plan
+	level  int
+	scale  float64
 }
 
 // NewLinearTransform converts a dense dim×dim matrix to diagonal form,
@@ -72,7 +92,8 @@ func NewLinearTransform(m [][]complex128) (*LinearTransform, error) {
 	return lt, nil
 }
 
-// Rotations returns the rotation indices needed by the naive evaluation.
+// Rotations returns the rotation indices needed by the naive evaluation,
+// sorted for reproducible key generation.
 func (lt *LinearTransform) Rotations() []int {
 	rots := make([]int, 0, len(lt.Diags))
 	for d := range lt.Diags {
@@ -80,11 +101,12 @@ func (lt *LinearTransform) Rotations() []int {
 			rots = append(rots, d)
 		}
 	}
+	sort.Ints(rots)
 	return rots
 }
 
 // RotationsBSGS returns the rotation indices needed by EvaluateBSGS with the
-// given baby-step count.
+// given baby-step count, sorted for reproducible key generation.
 func (lt *LinearTransform) RotationsBSGS(bs int) []int {
 	set := map[int]bool{}
 	for d := range lt.Diags {
@@ -101,59 +123,264 @@ func (lt *LinearTransform) RotationsBSGS(bs int) []int {
 	for r := range set {
 		rots = append(rots, r)
 	}
+	sort.Ints(rots)
 	return rots
+}
+
+// shiftedDiag returns diagonal d pre-rotated right by g so the single
+// giant-step rotation at the end of BSGS lands it correctly.
+func (lt *LinearTransform) shiftedDiag(d, g int) []complex128 {
+	diag := lt.Diags[d]
+	if g == 0 {
+		return diag
+	}
+	shifted := make([]complex128, lt.Dim)
+	for t := 0; t < lt.Dim; t++ {
+		shifted[t] = diag[(t+lt.Dim-g%lt.Dim)%lt.Dim]
+	}
+	return shifted
+}
+
+// naivePlan caches the per-diagonal plaintexts of the naive Evaluate path at
+// one (level, scale), sorted by diagonal index.
+type naivePlan struct {
+	ds  []int
+	pts []*ckks.Plaintext
+}
+
+func (lt *LinearTransform) naiveFor(enc *ckks.Encoder, level int, scale float64) (*naivePlan, error) {
+	key := planKey{params: enc.Params(), bs: 0, level: level, scale: scale}
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if p, ok := lt.naive[key]; ok {
+		return p, nil
+	}
+	ds := make([]int, 0, len(lt.Diags))
+	for d := range lt.Diags {
+		ds = append(ds, d)
+	}
+	sort.Ints(ds)
+	p := &naivePlan{ds: ds, pts: make([]*ckks.Plaintext, len(ds))}
+	for di, d := range ds {
+		pt, err := enc.EncodeAtLevel(lt.Diags[d], scale, level)
+		if err != nil {
+			return nil, err
+		}
+		p.pts[di] = pt
+	}
+	if lt.naive == nil {
+		lt.naive = map[planKey]*naivePlan{}
+	}
+	lt.naive[key] = p
+	return p, nil
 }
 
 // Evaluate applies the transform naively: one rotation and one plaintext
 // multiplication per non-zero diagonal (the upper path of Fig. 3(d) in the
 // paper). The vector occupies the first Dim slots, repeated so rotations
 // wrap correctly (Dim must divide the slot count and the caller must have
-// replicated the vector; for Dim == slots no replication is needed).
+// replicated the vector; for Dim == slots no replication is needed). The
+// diagonal plaintexts are encoded once per (level, scale) and cached.
 func (lt *LinearTransform) Evaluate(eval *ckks.Evaluator, enc *ckks.Encoder, ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+	if len(lt.Diags) == 0 {
+		return nil, fmt.Errorf("hefloat: transform has no non-zero diagonals")
+	}
+	plan, err := lt.naiveFor(enc, ct.Level(), eval.Params().DefaultScale())
+	if err != nil {
+		return nil, err
+	}
 	// Diagonals are independent rotate-multiply units (one parallel unit
 	// each in the paper's Table I recipe); run them concurrently and fold
 	// in sorted order for bit-determinism.
-	ds := make([]int, 0, len(lt.Diags))
-	for d := range lt.Diags {
-		ds = append(ds, d)
-	}
-	sort.Ints(ds)
-	terms := make([]*ckks.Ciphertext, len(ds))
-	fns := make([]func() error, len(ds))
-	for di, d := range ds {
+	terms := make([]*ckks.Ciphertext, len(plan.ds))
+	fns := make([]func() error, len(plan.ds))
+	for di, d := range plan.ds {
 		di, d := di, d
 		fns[di] = func() error {
-			rotated := eval.Rotate(ct, d)
-			pt, err := enc.EncodeAtLevel(lt.Diags[d], eval.Params().DefaultScale(), rotated.Level())
-			if err != nil {
-				return err
-			}
-			terms[di] = eval.MulPlain(rotated, pt)
+			terms[di] = eval.MulPlain(eval.Rotate(ct, d), plan.pts[di])
 			return nil
 		}
 	}
 	if err := runConcurrent(fns...); err != nil {
 		return nil, err
 	}
-	var acc *ckks.Ciphertext
-	for _, term := range terms {
-		if acc == nil {
-			acc = term // freshly built above; safe to mutate as the accumulator
-		} else {
-			eval.AddAcc(term, acc)
-		}
-	}
-	if acc == nil {
-		return nil, fmt.Errorf("hefloat: transform has no non-zero diagonals")
+	acc := terms[0] // freshly built above; safe to mutate as the accumulator
+	for _, term := range terms[1:] {
+		eval.AddAcc(term, acc)
 	}
 	return eval.Rescale(acc), nil
+}
+
+// TransformPlan is a compiled BSGS evaluation of a LinearTransform: every
+// diagonal pre-shifted by its giant step and pre-encoded into an
+// extended-basis NTT-domain plaintext at a fixed (level, scale), plus the
+// deduplicated, sorted baby-step rotation list. Plans are immutable after
+// Compile and safe to Apply concurrently; steady-state evaluation through a
+// plan encodes nothing.
+type TransformPlan struct {
+	BS    int
+	Level int
+	Scale float64
+
+	params *ckks.Parameters
+	rots   []int // sorted baby-step rotations (includes 0 when diagonal d ≡ 0 mod BS exists)
+	groups []planGroup
+}
+
+// planGroup is one giant step: the baby indices j and matching pre-shifted
+// plaintexts whose inner product is rotated by g.
+type planGroup struct {
+	g   int
+	js  []int
+	pts []*ckks.ExtPlaintext
+}
+
+// Compile pre-shifts and pre-encodes every diagonal for a BSGS evaluation
+// with bs baby steps at the given level and scale. The encodes run
+// concurrently on the shared limb pool.
+func (lt *LinearTransform) Compile(enc *ckks.Encoder, bs, level int, scale float64) (*TransformPlan, error) {
+	if bs <= 0 {
+		return nil, fmt.Errorf("hefloat: baby-step count must be positive, got %d", bs)
+	}
+	if len(lt.Diags) == 0 {
+		return nil, fmt.Errorf("hefloat: transform has no non-zero diagonals")
+	}
+	byGiant := map[int][]int{}
+	rotSet := map[int]bool{}
+	for d := range lt.Diags {
+		g := d - d%bs
+		byGiant[g] = append(byGiant[g], d)
+		rotSet[d%bs] = true
+	}
+	gs := make([]int, 0, len(byGiant))
+	for g := range byGiant {
+		gs = append(gs, g)
+	}
+	sort.Ints(gs)
+
+	p := &TransformPlan{BS: bs, Level: level, Scale: scale, params: enc.Params()}
+	p.rots = make([]int, 0, len(rotSet))
+	for j := range rotSet {
+		p.rots = append(p.rots, j)
+	}
+	sort.Ints(p.rots)
+
+	p.groups = make([]planGroup, len(gs))
+	var fns []func() error
+	for gi, g := range gs {
+		ds := append([]int(nil), byGiant[g]...)
+		sort.Ints(ds)
+		grp := planGroup{g: g, js: make([]int, len(ds)), pts: make([]*ckks.ExtPlaintext, len(ds))}
+		for ti, d := range ds {
+			grp.js[ti] = d - g
+			gi, ti, d, g := gi, ti, d, g
+			fns = append(fns, func() (err error) {
+				p.groups[gi].pts[ti], err = enc.EncodeExtAtLevel(lt.shiftedDiag(d, g), scale, level)
+				return err
+			})
+		}
+		p.groups[gi] = grp
+	}
+	if err := runConcurrent(fns...); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// planFor returns the cached plan for (bs, level, scale), compiling it on
+// first use. Concurrent callers serialize on the compile and then share the
+// immutable result.
+func (lt *LinearTransform) planFor(enc *ckks.Encoder, bs, level int, scale float64) (*TransformPlan, error) {
+	key := planKey{params: enc.Params(), bs: bs, level: level, scale: scale}
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if p, ok := lt.plans[key]; ok {
+		return p, nil
+	}
+	p, err := lt.Compile(enc, bs, level, scale)
+	if err != nil {
+		return nil, err
+	}
+	if lt.plans == nil {
+		lt.plans = map[planKey]*TransformPlan{}
+	}
+	lt.plans[key] = p
+	return p, nil
+}
+
+// Apply evaluates the compiled plan on ct with double-hoisted keyswitching:
+// the baby rotations share one digit decomposition and stay in the extended
+// P·Q basis, each giant step folds its inner product there and pays a single
+// ModDown (plus one rotation whose output is folded back into the extended
+// basis), and one final ModDown closes the evaluation — instead of a ModDown
+// pair per rotation on the reference path. ct may sit at or below the plan's
+// compile level.
+func (p *TransformPlan) Apply(eval *ckks.Evaluator, ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+	if eval.Params() != p.params {
+		return nil, fmt.Errorf("hefloat: plan compiled for a different parameter set")
+	}
+	if ct.Level() > p.Level {
+		return nil, fmt.Errorf("hefloat: plan compiled at level %d cannot evaluate a level-%d ciphertext", p.Level, ct.Level())
+	}
+	// Baby steps: one hoisted decomposition, all results left in the
+	// extended basis with their ModDown deferred.
+	baby := eval.RotateHoistedExt(ct, p.rots)
+
+	// Giant steps are independent: evaluate them concurrently on the shared
+	// pool and fold the per-group results in sorted order, so parallel and
+	// serial execution produce bit-identical ciphertexts.
+	exts := make([]*ckks.ExtCiphertext, len(p.groups))
+	fns := make([]func() error, len(p.groups))
+	for gi := range p.groups {
+		gi, grp := gi, &p.groups[gi]
+		fns[gi] = func() error {
+			acc := eval.NewExtAccumulator(ct.Level(), ct.Scale*p.Scale)
+			for ti, j := range grp.js {
+				eval.MulPlainExtAcc(baby[j], grp.pts[ti], acc)
+			}
+			if grp.g != 0 {
+				// The group's only ModDown; the giant rotation re-enters the
+				// extended basis so the final fold stays deferred.
+				acc = eval.RotateExt(eval.ModDownExt(acc), grp.g)
+			}
+			exts[gi] = acc
+			return nil
+		}
+	}
+	if err := runConcurrent(fns...); err != nil {
+		return nil, err
+	}
+	for _, rot := range p.rots {
+		eval.ReleaseExt(baby[rot])
+	}
+	acc := exts[0]
+	for _, e := range exts[1:] {
+		eval.AddExtAcc(e, acc)
+		eval.ReleaseExt(e)
+	}
+	return eval.Rescale(eval.ModDownExt(acc)), nil
 }
 
 // EvaluateBSGS applies the transform with the Baby-Step Giant-Step algorithm:
 // bs baby rotations of the input are shared across all giant steps, reducing
 // rotations from |Diags| to roughly bs + |Diags|/bs (Section III-B of the
-// paper; giant-step results are rotated once after accumulation).
+// paper). The evaluation is compiled on first use — diagonals pre-shifted and
+// pre-encoded, keyed by (bs, level, scale) — and runs double-hoisted through
+// the cached plan; see TransformPlan.Apply. EvaluateBSGSReference keeps the
+// per-rotation path for differential testing.
 func (lt *LinearTransform) EvaluateBSGS(eval *ckks.Evaluator, enc *ckks.Encoder, ct *ckks.Ciphertext, bs int) (*ckks.Ciphertext, error) {
+	plan, err := lt.planFor(enc, bs, ct.Level(), eval.Params().DefaultScale())
+	if err != nil {
+		return nil, err
+	}
+	return plan.Apply(eval, ct)
+}
+
+// EvaluateBSGSReference is the single-hoisted BSGS evaluation: every giant
+// step pays a full keyswitch (accumulate + ModDown) for its rotation and the
+// diagonals are re-encoded per call. It is the reference implementation the
+// differential tests pin the plan-cached double-hoisted path against.
+func (lt *LinearTransform) EvaluateBSGSReference(eval *ckks.Evaluator, enc *ckks.Encoder, ct *ckks.Ciphertext, bs int) (*ckks.Ciphertext, error) {
 	if bs <= 0 {
 		return nil, fmt.Errorf("hefloat: baby-step count must be positive, got %d", bs)
 	}
@@ -165,17 +392,18 @@ func (lt *LinearTransform) EvaluateBSGS(eval *ckks.Evaluator, enc *ckks.Encoder,
 	}
 	// Baby steps: all needed rotations of the input, computed with a single
 	// hoisted decomposition (the digit decomposition is shared across the
-	// rotations, the optimization BSGS exists to exploit).
+	// rotations, the optimization BSGS exists to exploit). The rotation list
+	// is sorted so scratch reuse and benchmarks are reproducible run-to-run.
 	needed := map[int]bool{}
 	for d := range lt.Diags {
 		needed[d%bs] = true
 	}
-	var rotList []int
+	rotList := make([]int, 0, len(needed))
 	for j := range needed {
 		rotList = append(rotList, j)
 	}
+	sort.Ints(rotList)
 	baby := eval.RotateHoisted(ct, rotList)
-	babyOf := func(j int) *ckks.Ciphertext { return baby[j] }
 
 	// Giant steps are independent: evaluate them concurrently on the shared
 	// pool and fold the per-group results in sorted order, so parallel and
@@ -195,15 +423,7 @@ func (lt *LinearTransform) EvaluateBSGS(eval *ckks.Evaluator, enc *ckks.Encoder,
 			// inner = Σ_j diag_{g+j} rotated by -g, times baby_j.
 			var inner *ckks.Ciphertext
 			for _, d := range ds {
-				j := d - g
-				diag := lt.Diags[d]
-				// Pre-rotate the diagonal right by g so the single giant-step
-				// rotation at the end lands it correctly.
-				shifted := make([]complex128, lt.Dim)
-				for t := 0; t < lt.Dim; t++ {
-					shifted[t] = diag[(t+lt.Dim-g%lt.Dim)%lt.Dim]
-				}
-				pt, err := enc.EncodeAtLevel(shifted, eval.Params().DefaultScale(), ct.Level())
+				pt, err := enc.EncodeAtLevel(lt.shiftedDiag(d, g), eval.Params().DefaultScale(), ct.Level())
 				if err != nil {
 					return err
 				}
@@ -211,9 +431,9 @@ func (lt *LinearTransform) EvaluateBSGS(eval *ckks.Evaluator, enc *ckks.Encoder,
 				// through the fused multiply-accumulate kernel, one pass per
 				// term instead of a multiply pass plus an add pass.
 				if inner == nil {
-					inner = eval.MulPlain(babyOf(j), pt)
+					inner = eval.MulPlain(baby[d-g], pt)
 				} else {
-					eval.MulPlainAcc(babyOf(j), pt, inner)
+					eval.MulPlainAcc(baby[d-g], pt, inner)
 				}
 			}
 			if g != 0 {

@@ -2,6 +2,7 @@ package hefloat
 
 import (
 	"fmt"
+	"sync"
 
 	"hydra/internal/ckks"
 )
@@ -60,43 +61,61 @@ func PCMMRotations(k int) []int {
 	return rots
 }
 
-// PCMM computes Y = X·W for an encrypted column-packed X and a plaintext W:
-// column c of the product is Σ_d W[(c+d) mod k][c] · X[:,(c+d) mod k], so
-// each diagonal d contributes one column rotation of X (by d·k slots) and
-// one multiplication with the plaintext mask carrying the matching W
-// entries.
-func PCMM(eval *ckks.Evaluator, enc *ckks.Encoder, ctX *ckks.Ciphertext, w [][]float64) (*ckks.Ciphertext, error) {
+// NewPCMMTransform builds the linear transform of Y = X·W over the
+// column-major packing: diagonal d·k carries the mask replicating
+// W[(c+d) mod k][c] down column c. Hold the result across calls so repeated
+// products against the same W reuse its compiled plan (the weights-resident
+// pattern of the paper's PCMM recipe).
+func NewPCMMTransform(w [][]float64, slots int) (*LinearTransform, error) {
 	k := len(w)
-	slots := eval.Params().Slots()
 	if k*k != slots {
 		return nil, fmt.Errorf("hefloat: matrix size %d² must equal slot count %d", k, slots)
 	}
-	scale := eval.Params().DefaultScale()
-	var acc *ckks.Ciphertext
+	lt := &LinearTransform{Dim: slots, Diags: map[int][]complex128{}}
 	for d := 0; d < k; d++ {
 		mask := make([]complex128, slots)
+		nonZero := false
 		for c := 0; c < k; c++ {
 			wv := complex(w[(c+d)%k][c], 0)
 			for r := 0; r < k; r++ {
 				mask[c*k+r] = wv
 			}
+			if wv != 0 {
+				nonZero = true
+			}
 		}
-		pt, err := enc.EncodeAtLevel(mask, scale, ctX.Level())
+		if nonZero {
+			lt.Diags[d*k] = mask
+		}
+	}
+	return lt, nil
+}
+
+// PCMM computes Y = X·W for an encrypted column-packed X and a plaintext W:
+// column c of the product is Σ_d W[(c+d) mod k][c] · X[:,(c+d) mod k], so
+// each diagonal d contributes one column rotation of X (by d·k slots) and
+// one multiplication with the plaintext mask carrying the matching W
+// entries. All column rotations are baby steps of one double-hoisted BSGS
+// evaluation (one digit decomposition and one deferred ModDown pair for the
+// whole product); callers reusing a weight matrix should hold a
+// NewPCMMTransform and EvaluateBSGS it directly to also reuse the compiled
+// plan.
+func PCMM(eval *ckks.Evaluator, enc *ckks.Encoder, ctX *ckks.Ciphertext, w [][]float64) (*ckks.Ciphertext, error) {
+	slots := eval.Params().Slots()
+	lt, err := NewPCMMTransform(w, slots)
+	if err != nil {
+		return nil, err
+	}
+	if len(lt.Diags) == 0 {
+		// All-zero weights: the product is the zero ciphertext at the same
+		// scale budget as the general path.
+		pt, err := enc.EncodeAtLevel(nil, eval.Params().DefaultScale(), ctX.Level())
 		if err != nil {
 			return nil, err
 		}
-		rotated := ctX
-		if d != 0 {
-			rotated = eval.Rotate(ctX, d*k)
-		}
-		// Fused multiply-accumulate after the first diagonal seeds acc.
-		if acc == nil {
-			acc = eval.MulPlain(rotated, pt)
-		} else {
-			eval.MulPlainAcc(rotated, pt, acc)
-		}
+		return eval.Rescale(eval.MulPlain(ctX, pt)), nil
 	}
-	return eval.Rescale(acc), nil
+	return lt.EvaluateBSGS(eval, enc, ctX, slots)
 }
 
 // CCMMRotations returns the rotation indices CCMM needs for k×k matrices:
@@ -146,6 +165,79 @@ func ccmmTau(k int) [][]complex128 {
 	return m
 }
 
+// ccmmLTs caches the σ/τ pre-transforms per matrix dimension: they are pure
+// permutation matrices independent of the parameter set, and each carries
+// its own per-parameter compiled plans, so repeated CCMM calls encode
+// nothing for the pre-transforms.
+var ccmmLTs sync.Map // k -> *ccmmPair
+
+type ccmmPair struct {
+	once       sync.Once
+	sigma, tau *LinearTransform
+	err        error
+}
+
+func ccmmTransforms(k int) (sigma, tau *LinearTransform, err error) {
+	v, _ := ccmmLTs.LoadOrStore(k, &ccmmPair{})
+	pair := v.(*ccmmPair)
+	pair.once.Do(func() {
+		pair.sigma, pair.err = NewLinearTransform(ccmmSigma(k))
+		if pair.err == nil {
+			pair.tau, pair.err = NewLinearTransform(ccmmTau(k))
+		}
+	})
+	return pair.sigma, pair.tau, pair.err
+}
+
+// ccmmMaskKey identifies the ψ_d selection masks for one iteration of one
+// CCMM shape at one (level, scale).
+type ccmmMaskKey struct {
+	params *ckks.Parameters
+	k, d   int
+	level  int
+	scale  float64
+}
+
+var ccmmMasks sync.Map // ccmmMaskKey -> [2]*ckks.Plaintext (main, wrap; d == 0 holds the all-ones mask in main)
+
+func ccmmMaskPts(enc *ckks.Encoder, k, d, level int, scale float64) (ptMain, ptWrap *ckks.Plaintext, err error) {
+	key := ccmmMaskKey{params: enc.Params(), k: k, d: d, level: level, scale: scale}
+	if v, ok := ccmmMasks.Load(key); ok {
+		pts := v.([2]*ckks.Plaintext)
+		return pts[0], pts[1], nil
+	}
+	slots := k * k
+	if d == 0 {
+		one := make([]complex128, slots)
+		for i := range one {
+			one[i] = 1
+		}
+		if ptMain, err = enc.EncodeAtLevel(one, scale, level); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		maskMain := make([]complex128, slots)
+		maskWrap := make([]complex128, slots)
+		for c := 0; c < k; c++ {
+			for r := 0; r < k; r++ {
+				if r < k-d {
+					maskMain[c*k+r] = 1
+				} else {
+					maskWrap[c*k+r] = 1
+				}
+			}
+		}
+		if ptMain, err = enc.EncodeAtLevel(maskMain, scale, level); err != nil {
+			return nil, nil, err
+		}
+		if ptWrap, err = enc.EncodeAtLevel(maskWrap, scale, level); err != nil {
+			return nil, nil, err
+		}
+	}
+	ccmmMasks.Store(key, [2]*ckks.Plaintext{ptMain, ptWrap})
+	return ptMain, ptWrap, nil
+}
+
 // CCMM computes Y = X·Z for two encrypted column-packed k×k matrices with
 // the E2DM-style algorithm the paper's CCMM recipe reflects: two one-time
 // diagonal pre-transforms σ(X) and τ(Z), then k iterations, each combining a
@@ -156,6 +248,11 @@ func ccmmTau(k int) [][]complex128 {
 //	φ_d: column shift by d (one rotation), ψ_d: row shift by d (two masked
 //	rotations), so each unit is rotation-heavy with a single CMult, matching
 //	Table I's CCMM row.
+//
+// The pre-transforms run as double-hoisted all-baby BSGS evaluations through
+// cached plans, the per-iteration selection masks are encoded once and
+// cached, and the φ_d/ψ_d rotations are hoisted onto one digit decomposition
+// per operand.
 func CCMM(eval *ckks.Evaluator, enc *ckks.Encoder, ctX, ctZ *ckks.Ciphertext) (*ckks.Ciphertext, error) {
 	slots := eval.Params().Slots()
 	k := 1
@@ -167,67 +264,50 @@ func CCMM(eval *ckks.Evaluator, enc *ckks.Encoder, ctX, ctZ *ckks.Ciphertext) (*
 	}
 	scale := eval.Params().DefaultScale()
 
-	sigma, err := NewLinearTransform(ccmmSigma(k))
+	sigma, tau, err := ccmmTransforms(k)
 	if err != nil {
 		return nil, err
 	}
-	tau, err := NewLinearTransform(ccmmTau(k))
+	var a, b *ckks.Ciphertext
+	err = runConcurrent(
+		func() (err error) { a, err = sigma.EvaluateBSGS(eval, enc, ctX, slots); return },
+		func() (err error) { b, err = tau.EvaluateBSGS(eval, enc, ctZ, slots); return },
+	)
 	if err != nil {
 		return nil, err
 	}
-	a, err := sigma.Evaluate(eval, enc, ctX)
-	if err != nil {
-		return nil, err
+
+	// One hoisted decomposition per operand covers every iteration's
+	// rotations: the column shifts of a and both row-shift pieces of b.
+	aRots := make([]int, 0, k-1)
+	bRots := make([]int, 0, 2*(k-1))
+	for d := 1; d < k; d++ {
+		aRots = append(aRots, d*k)
+		bRots = append(bRots, d, d-k)
 	}
-	b, err := tau.Evaluate(eval, enc, ctZ)
-	if err != nil {
-		return nil, err
-	}
+	arot := eval.RotateHoisted(a, aRots)
+	brot := eval.RotateHoisted(b, bRots)
 
 	var acc *ckks.Ciphertext
 	for d := 0; d < k; d++ {
 		// φ_d: shift the columns of a left by d (clean slot rotation).
 		ad := a
 		if d != 0 {
-			ad = eval.Rotate(a, d*k)
+			ad = arot[d*k]
 		}
 		// ψ_d: shift the rows of b up by d within each column: slots with
 		// row index r < k-d come from rotation d, the wrap-around rows from
 		// rotation d-k; two masks select the pieces.
+		ptMain, ptWrap, err := ccmmMaskPts(enc, k, d, b.Level(), scale)
+		if err != nil {
+			return nil, err
+		}
 		var bd *ckks.Ciphertext
 		if d == 0 {
-			bd = b.CopyNew()
-			one := make([]complex128, slots)
-			for i := range one {
-				one[i] = 1
-			}
-			pt, err := enc.EncodeAtLevel(one, scale, bd.Level())
-			if err != nil {
-				return nil, err
-			}
-			bd = eval.Rescale(eval.MulPlain(bd, pt))
+			bd = eval.Rescale(eval.MulPlain(b, ptMain))
 		} else {
-			maskMain := make([]complex128, slots)
-			maskWrap := make([]complex128, slots)
-			for c := 0; c < k; c++ {
-				for r := 0; r < k; r++ {
-					if r < k-d {
-						maskMain[c*k+r] = 1
-					} else {
-						maskWrap[c*k+r] = 1
-					}
-				}
-			}
-			ptMain, err := enc.EncodeAtLevel(maskMain, scale, b.Level())
-			if err != nil {
-				return nil, err
-			}
-			ptWrap, err := enc.EncodeAtLevel(maskWrap, scale, b.Level())
-			if err != nil {
-				return nil, err
-			}
-			main := eval.MulPlain(eval.Rotate(b, d), ptMain)
-			wrap := eval.MulPlain(eval.Rotate(b, d-k), ptWrap)
+			main := eval.MulPlain(brot[d], ptMain)
+			wrap := eval.MulPlain(brot[d-k], ptWrap)
 			bd = eval.Rescale(eval.Add(main, wrap))
 		}
 		aligned := ad.CopyNew()

@@ -123,3 +123,37 @@ func okHandoff(r *ring.Ring, h *holder) {
 	//lint:allow poolleak testdata: ownership transfers to holder, whose owner releases it
 	h.buf = row
 }
+
+// extAcc mirrors the evaluator's extended-basis keyswitch accumulator: pooled
+// rows are parked in a slice field until a deferred ModDown consumes them.
+type extAcc struct {
+	rows [][]uint64
+}
+
+func (e *extAcc) release(r *ring.Ring) {
+	for i, row := range e.rows {
+		if row != nil {
+			r.PutRow(row)
+			e.rows[i] = nil
+		}
+	}
+}
+
+// poolleak: parking a pooled row in a slice element without documenting the
+// hand-off is an escape — the deferred-ModDown window is invisible here.
+func badExtAccStore(r *ring.Ring, e *extAcc, jj int) {
+	row := r.GetRow()
+	e.rows[jj] = row // want poolleak
+}
+
+// poolleak: the sanctioned ext-accumulator shape — the store transfers
+// ownership to the accumulator, whose release method returns every row.
+func okExtAccTransfer(r *ring.Ring, n int) *extAcc {
+	e := &extAcc{rows: make([][]uint64, n)}
+	for jj := 0; jj < n; jj++ {
+		row := r.GetRow()
+		//lint:allow poolleak testdata: accumulator rows transfer ownership; release returns them after the deferred ModDown
+		e.rows[jj] = row
+	}
+	return e
+}

@@ -222,6 +222,78 @@ func (m Modulus) MulSubRowLazy(acc, a, b []uint64) {
 	}
 }
 
+// MulAddRowLazyGather is MulAddRowLazy with an index gather fused into the
+// left operand: acc[j] += a[perm[j]]*b[j], with acc lazy in [0, 2q) on entry
+// and on return. perm must be a permutation of [0, len(acc)). This fuses an
+// NTT-domain automorphism (a pure index permutation) into the keyswitch digit
+// inner product, so hoisted rotations never materialize the permuted digit
+// rows. Close the window with ReduceFinalVec.
+func (m Modulus) MulAddRowLazyGather(acc, a, b []uint64, perm []int) {
+	twoQ := m.Q << 1
+	b = b[:len(acc)]
+	perm = perm[:len(acc)]
+	for j := range acc {
+		hi, lo := bits.Mul64(a[perm[j]], b[j])
+		c := acc[j] + m.Reduce128Lazy(hi, lo)
+		if c >= twoQ {
+			c -= twoQ
+		}
+		acc[j] = c
+	}
+}
+
+// MulAddShoupRowLazy is the row-wide form of MulAddShoupLazy for one constant
+// multiplier: acc[j] += a[j]*w with w < q, wShoup = ShoupPrecomp(w, q), acc
+// lazy in [0, 2q) on entry and on return. a may hold arbitrary uint64 values
+// (the Shoup estimate tolerates lazy inputs).
+func (m Modulus) MulAddShoupRowLazy(acc, a []uint64, w, wShoup uint64) {
+	q := m.Q
+	twoQ := q << 1
+	a = a[:len(acc)]
+	for j := range acc {
+		hi, _ := bits.Mul64(a[j], wShoup)
+		c := acc[j] + a[j]*w - hi*q // < 4q, within the uint64 budget
+		if c >= twoQ {
+			c -= twoQ
+		}
+		acc[j] = c
+	}
+}
+
+// MulAddShoupRowLazyGather is MulAddShoupRowLazy with an index gather fused
+// into the source row: acc[j] += a[perm[j]]*w under the same contract. It
+// folds P·τ_k(c0) into an extended-basis keyswitch accumulator without
+// materializing the rotated polynomial.
+func (m Modulus) MulAddShoupRowLazyGather(acc, a []uint64, w, wShoup uint64, perm []int) {
+	q := m.Q
+	twoQ := q << 1
+	perm = perm[:len(acc)]
+	for j := range acc {
+		v := a[perm[j]]
+		hi, _ := bits.Mul64(v, wShoup)
+		c := acc[j] + v*w - hi*q
+		if c >= twoQ {
+			c -= twoQ
+		}
+		acc[j] = c
+	}
+}
+
+// AddRowLazy adds b into acc row-wide under the lazy contract:
+// acc[j], b[j] ∈ [0, 2q) in, acc[j] ∈ [0, 2q) out. It is the fold step that
+// merges extended-basis keyswitch accumulators before the deferred ModDown.
+func (m Modulus) AddRowLazy(acc, b []uint64) {
+	twoQ := m.Q << 1
+	b = b[:len(acc)]
+	for j := range acc {
+		c := acc[j] + b[j]
+		if c >= twoQ {
+			c -= twoQ
+		}
+		acc[j] = c
+	}
+}
+
 // ShoupPrecomp returns floor(w * 2^64 / q), the Shoup multiplier for the
 // constant w < q.
 func ShoupPrecomp(w, q uint64) uint64 {

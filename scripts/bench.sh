@@ -1,9 +1,16 @@
 #!/bin/sh
-# Kernel benchmark harness: runs the serial/parallel ring + ckks benchmark
-# pairs (NTT kernel generations, fused MAC, CMult/relinearization, hoisted
-# rotations) and emits the parsed results as machine-readable JSON with
-# ns/op, B/op and allocs/op per benchmark. EXPERIMENTS.md tables are derived
-# from this output.
+# Kernel benchmark harness: runs the serial/parallel ring, ckks and hefloat
+# benchmark suites (NTT kernel generations, fused MAC, CMult/relinearization,
+# hoisted and double-hoisted rotations, BSGS linear transforms, PCMM/CCMM and
+# the small bootstrap) and emits the parsed results as machine-readable JSON
+# with ns/op, B/op and allocs/op per benchmark — one file per package layer:
+#
+#   BENCH_ring.json     NTT/INTT generations, fused coefficient MAC
+#   BENCH_ckks.json     CMult/relin, direct vs hoisted vs ext-hoisted rotations
+#   BENCH_hefloat.json  naive/BSGS/reference linear transforms, PCMM(+compiled),
+#                       CCMM, BootstrapSmall serial+parallel
+#
+# EXPERIMENTS.md tables are derived from this output.
 #
 # Usage: scripts/bench.sh [smoke]
 #   smoke    run every benchmark for a single iteration (-benchtime=1x):
@@ -11,27 +18,31 @@
 #            without paying full measurement time.
 #
 # Environment:
-#   BENCH_OUT    output path (default BENCH_ring.json at the repo root)
+#   BENCH_DIR    output directory (default: repo root)
 #   BENCHTIME    go test -benchtime value (default 1s; smoke forces 1x)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT=${BENCH_OUT:-BENCH_ring.json}
+BENCH_DIR=${BENCH_DIR:-.}
 BENCHTIME=${BENCHTIME:-1s}
 if [ "${1:-}" = "smoke" ]; then
 	BENCHTIME=1x
 fi
 
-PATTERN='^(BenchmarkNTT|BenchmarkINTT|BenchmarkMulCoeffsAdd|BenchmarkCMultRelin|BenchmarkCMultParallel|BenchmarkRotationsDirect|BenchmarkRotationsHoisted)'
-
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
-go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" \
-	./internal/ring/ ./internal/ckks/ | tee "$RAW"
+# run_suite <pattern> <package> <output-json>
+run_suite() {
+	PATTERN=$1
+	PKG=$2
+	OUT=$3
 
-awk -v benchtime="$BENCHTIME" '
+	go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" \
+		"$PKG" | tee "$RAW"
+
+	awk -v benchtime="$BENCHTIME" '
 /^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
 /^goos:/ { goos = $2 }
 /^goarch:/ { goarch = $2 }
@@ -65,4 +76,17 @@ END {
 }
 ' "$RAW" >"$OUT"
 
-echo "bench: wrote $(grep -c '"name"' "$OUT") results to $OUT"
+	echo "bench: wrote $(grep -c '"name"' "$OUT") results to $OUT"
+}
+
+run_suite \
+	'^(BenchmarkNTT|BenchmarkINTT|BenchmarkMulCoeffsAdd)' \
+	./internal/ring/ "$BENCH_DIR/BENCH_ring.json"
+
+run_suite \
+	'^(BenchmarkCMultRelin|BenchmarkCMultParallel|BenchmarkRotationsDirect|BenchmarkRotationsHoisted)' \
+	./internal/ckks/ "$BENCH_DIR/BENCH_ckks.json"
+
+run_suite \
+	'^(BenchmarkLinearTransform|BenchmarkPCMM|BenchmarkCCMM|BenchmarkBootstrapSmall)' \
+	./internal/hefloat/ "$BENCH_DIR/BENCH_hefloat.json"

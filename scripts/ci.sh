@@ -23,12 +23,24 @@ go test -race "$@" \
 	./internal/runtime/... \
 	./internal/cluster/...
 
+echo "== go test -race -short (plan cache + double-hoisted BSGS)"
+# The hefloat suite includes the concurrent shared-plan and the
+# parallel-vs-serial plan differential; -short skips the slow bootstrap
+# convergence tests that add nothing to the race coverage.
+go test -race -short "$@" ./internal/hefloat/
+
 echo "== go test (full tier-1 suite)"
 go test ./...
 
 echo "== bench harness smoke (1 iteration per benchmark)"
-# Write to a scratch path: the smoke run validates the harness and the JSON
-# writer without clobbering the checked-in measured BENCH_ring.json.
-BENCH_OUT="$(mktemp)" sh scripts/bench.sh smoke >/dev/null
+# Write to a scratch directory: the smoke run validates the harness and the
+# JSON writer for all three suites without clobbering the checked-in measured
+# BENCH_ring.json / BENCH_ckks.json / BENCH_hefloat.json.
+SMOKE_DIR="$(mktemp -d)"
+BENCH_DIR="$SMOKE_DIR" sh scripts/bench.sh smoke >/dev/null
+for f in BENCH_ring.json BENCH_ckks.json BENCH_hefloat.json; do
+	[ -s "$SMOKE_DIR/$f" ] || { echo "ci: bench smoke did not write $f" >&2; exit 1; }
+done
+rm -rf "$SMOKE_DIR"
 
 echo "ci: OK"
