@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race ci bench bench-json fuzz golden-update
+.PHONY: all build test lint race ci bench bench-json serve-bench fuzz golden-update
 
 all: build test
 
@@ -25,10 +25,10 @@ lint:
 	$(GO) run ./cmd/hydra-lint ./...
 
 # Race-detector run of the limb pool, the evaluator that fans work onto it,
-# and the goroutine-card runtimes that nest it (includes the differential
-# parallel-vs-serial harness).
+# the goroutine-card runtimes that nest it (includes the differential
+# parallel-vs-serial harness), and the multi-tenant serving layer.
 race:
-	$(GO) test -race ./internal/ring/... ./internal/ckks/... ./internal/runtime/... ./internal/cluster/...
+	$(GO) test -race ./internal/ring/... ./internal/ckks/... ./internal/runtime/... ./internal/cluster/... ./internal/serve/...
 
 ci:
 	sh scripts/ci.sh
@@ -42,6 +42,12 @@ bench:
 # `scripts/bench.sh smoke` is the 1-iteration CI variant.
 bench-json:
 	sh scripts/bench.sh
+
+# Serving-layer load benchmark: replays the synthetic open-loop Poisson
+# workload (cmd/hydra-serve) against two fleet sizes and writes jobs/sec plus
+# queue-wait/latency percentiles to BENCH_serve.json.
+serve-bench:
+	sh scripts/bench.sh serve
 
 # Short fuzz passes: the ISA task-program decoder, and the differential
 # modular-arithmetic fuzzer (Barrett/Shoup/Montgomery vs math/big).

@@ -1,0 +1,217 @@
+// Command hydra-serve replays a synthetic open-loop inference workload
+// against the multi-tenant serving layer (internal/serve) and reports
+// throughput and latency percentiles per fleet size.
+//
+// Usage:
+//
+//	hydra-serve -fleets 8,32 -rate 40 -duration 3s -out BENCH_serve.json
+//	hydra-serve -fleets 16 -rate 20 -duration 1s -dilation 0.1 -out -
+//
+// Jobs arrive per a Poisson process at -rate jobs/s regardless of how the
+// fleet keeps up (open loop — this is what exposes queueing and overload;
+// closed-loop drivers self-throttle and hide both). The mix is the serve
+// package's default shapes: small ConvBN layers, mid-size BSGS matrix-vector
+// layers, and whole-server bootstrap batches. Each job executes on the
+// analytic sim backend, occupying its granted cards for the job's simulated
+// makespan scaled by -dilation real seconds per simulated second.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"hydra/internal/hw"
+	"hydra/internal/serve"
+	"hydra/internal/sim"
+)
+
+func main() {
+	fleets := flag.String("fleets", "8,32", "comma-separated fleet sizes (cards) to bench")
+	cps := flag.Int("cps", 8, "cards per server (server-boundary for network pricing)")
+	rate := flag.Float64("rate", 40, "mean job arrivals per second (open loop)")
+	duration := flag.Duration("duration", 3*time.Second, "arrival horizon per fleet size")
+	seed := flag.Int64("seed", 1, "workload seed (same seed, same arrival sequence)")
+	queue := flag.Int("queue", serve.DefaultQueueDepth, "admission queue depth")
+	dilation := flag.Float64("dilation", 0.25, "real seconds slept per simulated second of card occupancy")
+	timeout := flag.Duration("timeout", 0, "default per-job timeout (0 = none)")
+	out := flag.String("out", "BENCH_serve.json", "report path (\"-\" = stdout)")
+	flag.Parse()
+
+	if err := run(*fleets, *cps, *rate, *duration, *seed, *queue, *dilation, *timeout, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "hydra-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// fleetReport is the per-fleet-size section of BENCH_serve.json.
+type fleetReport struct {
+	Cards          int     `json:"cards"`
+	CardsPerServer int     `json:"cards_per_server"`
+	Offered        int     `json:"offered_jobs"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	JobsPerSec     float64 `json:"jobs_per_sec"`
+
+	serve.Snapshot
+}
+
+// report is the whole BENCH_serve.json document.
+type report struct {
+	Backend    string        `json:"backend"`
+	RateHz     float64       `json:"arrival_rate_hz"`
+	HorizonSec float64       `json:"horizon_seconds"`
+	Seed       int64         `json:"seed"`
+	Dilation   float64       `json:"dilation"`
+	QueueDepth int           `json:"queue_depth"`
+	Fleets     []fleetReport `json:"fleets"`
+}
+
+func run(fleetList string, cps int, rate float64, duration time.Duration, seed int64, queue int, dilation float64, timeout time.Duration, out string) error {
+	sizes, err := parseFleets(fleetList)
+	if err != nil {
+		return err
+	}
+	cfg := sim.HydraConfig()
+	shapes := serve.DefaultShapes(cfg.Scheme, cfg.Card)
+
+	// Price each shape once up front so admission control knows job costs
+	// without simulating every arrival on the submit path.
+	est, err := priceShapes(shapes, cfg)
+	if err != nil {
+		return err
+	}
+
+	rep := report{
+		Backend:    "sim",
+		RateHz:     rate,
+		HorizonSec: duration.Seconds(),
+		Seed:       seed,
+		Dilation:   dilation,
+		QueueDepth: queue,
+	}
+	for _, cards := range sizes {
+		fr, err := replay(cards, cps, rate, duration, seed, queue, dilation, timeout, cfg, shapes, est)
+		if err != nil {
+			return fmt.Errorf("fleet %d: %w", cards, err)
+		}
+		rep.Fleets = append(rep.Fleets, fr)
+		fmt.Fprintf(os.Stderr, "hydra-serve: fleet %2d cards: %d offered, %d completed, %d shed, %.1f jobs/s, exec p50 %.3fs p99 %.3fs\n",
+			cards, fr.Offered, fr.Completed, fr.Rejected+fr.Expired, fr.JobsPerSec, fr.ExecP50, fr.ExecP99)
+	}
+
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if out != "-" {
+		fmt.Fprintf(os.Stderr, "hydra-serve: wrote %s (%d fleet sizes)\n", out, len(rep.Fleets))
+	}
+	return nil
+}
+
+// replay drives one open-loop run against a fresh server of the given size.
+func replay(cards, cps int, rate float64, duration time.Duration, seed int64, queue int, dilation float64, timeout time.Duration, cfg sim.Config, shapes []serve.Shape, est map[string]float64) (fleetReport, error) {
+	if cps > cards {
+		cps = cards
+	}
+	s, err := serve.New(serve.Config{
+		Fleet:          hw.Fleet{Cards: cards, CardsPerServer: cps},
+		Backend:        &serve.SimBackend{Cfg: cfg, Dilation: dilation},
+		QueueDepth:     queue,
+		DefaultTimeout: timeout,
+	})
+	if err != nil {
+		return fleetReport{}, err
+	}
+	defer s.Close()
+
+	// Shapes demanding more cards than this fleet are scaled down to the
+	// whole fleet rather than shed as infeasible.
+	w := serve.Workload{Seed: seed, Rate: rate, Horizon: duration, Shapes: shapes}
+	arrivals, err := w.Generate()
+	if err != nil {
+		return fleetReport{}, err
+	}
+
+	start := time.Now()
+	for _, a := range arrivals {
+		if wait := a.At - time.Since(start); wait > 0 {
+			time.Sleep(wait)
+		}
+		a.Job.EstCost = est[a.Shape]
+		if a.Job.Cards > cards {
+			a.Job.Cards = cards
+		}
+		if _, err := s.Submit(a.Job); err != nil && !errors.Is(err, serve.ErrOverloaded) && !errors.Is(err, serve.ErrDeadline) {
+			return fleetReport{}, err
+		}
+	}
+	s.Drain()
+	wall := time.Since(start).Seconds()
+
+	snap := s.Metrics().Snapshot()
+	fr := fleetReport{
+		Cards:          cards,
+		CardsPerServer: cps,
+		Offered:        len(arrivals),
+		WallSeconds:    wall,
+		Snapshot:       snap,
+	}
+	if wall > 0 {
+		fr.JobsPerSec = float64(snap.Completed) / wall
+	}
+	return fr, nil
+}
+
+// priceShapes simulates each shape once at its native card demand.
+func priceShapes(shapes []serve.Shape, cfg sim.Config) (map[string]float64, error) {
+	est := make(map[string]float64, len(shapes))
+	for _, sh := range shapes {
+		prog, err := sh.Build(sh.Cards)
+		if err != nil {
+			return nil, fmt.Errorf("shape %s: %w", sh.Name, err)
+		}
+		res, err := sim.Run(prog, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("shape %s: %w", sh.Name, err)
+		}
+		est[sh.Name] = res.Makespan
+	}
+	return est, nil
+}
+
+func parseFleets(list string) ([]int, error) {
+	var sizes []int
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad fleet size %q", part)
+		}
+		sizes = append(sizes, n)
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("no fleet sizes given")
+	}
+	sort.Ints(sizes)
+	return sizes, nil
+}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -67,7 +68,7 @@ func main() {
 	for c := 0; c < cards; c++ {
 		cl.Load(c, "x", ct)
 	}
-	if err := cl.Run(progs); err != nil {
+	if err := cl.Run(context.Background(), progs); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("ConvBN on %d functional cards: %d kernels computed and ring-broadcast\n", cards, len(layer.Rotations))

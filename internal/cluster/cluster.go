@@ -24,6 +24,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -106,14 +107,17 @@ func (cl *Cluster) Load(card int, name string, ct *ckks.Ciphertext) {
 }
 
 // Run executes one instruction stream per card concurrently and waits for
-// all of them (the Procedure 2 completion signal).
+// all of them (the Procedure 2 completion signal). The context bounds the
+// whole execution: cancellation (a serving-layer timeout, a dropped client)
+// unblocks every card — including cards parked on switch sends or receives —
+// and Run returns the context's error.
 //
 // If any card fails mid-program, the failure is broadcast through an abort
 // channel so peers blocked on switch sends or receives unwind instead of
 // deadlocking; Run then reports the root-cause error rather than the
-// secondary aborts. After a failed Run the switch may hold stale frames, so
-// the cluster must not be reused.
-func (cl *Cluster) Run(programs [][]Instr) error {
+// secondary aborts. After a failed or cancelled Run the switch may hold
+// stale frames, so the cluster must not be reused.
+func (cl *Cluster) Run(ctx context.Context, programs [][]Instr) error {
 	if len(programs) != len(cl.Cards) {
 		return fmt.Errorf("cluster: %d programs for %d cards", len(programs), len(cl.Cards))
 	}
@@ -125,7 +129,7 @@ func (cl *Cluster) Run(programs [][]Instr) error {
 		wg.Add(1)
 		go func(card *Card, prog []Instr, slot *error) {
 			defer wg.Done()
-			if err := cl.execute(card, prog, abort); err != nil {
+			if err := cl.execute(ctx, card, prog, abort); err != nil {
 				*slot = err
 				once.Do(func() { close(abort) })
 			}
@@ -151,10 +155,16 @@ func (cl *Cluster) Run(programs [][]Instr) error {
 // execute runs a card's stream in order. Receives block on the switch; the
 // per-tag framing keeps out-of-order arrivals from earlier broadcasts safe
 // because programs consume tags in emission order. Blocking switch operations
-// also watch the abort channel so a peer failure cannot strand this card.
-func (cl *Cluster) execute(card *Card, prog []Instr, abort <-chan struct{}) error {
+// watch both the abort channel (a peer failure cannot strand this card) and
+// the context (a caller cancellation cannot either); compute-bound cards poll
+// the context between instructions so a cancelled program stops promptly even
+// when it never touches the switch.
+func (cl *Cluster) execute(ctx context.Context, card *Card, prog []Instr, abort <-chan struct{}) error {
 	pending := map[int][]byte{} // tag -> frame that arrived early
 	for pc, ins := range prog {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("pc %d: %w", pc, err)
+		}
 		get := func(name string) (*ckks.Ciphertext, error) {
 			ct, ok := card.Store[name]
 			if !ok {
@@ -248,6 +258,8 @@ func (cl *Cluster) execute(card *Card, prog []Instr, abort <-chan struct{}) erro
 			case cl.links[ins.Peer] <- frame{tag: ins.Tag, data: ckks.MarshalCiphertext(src)}:
 			case <-abort:
 				return fmt.Errorf("pc %d: send to card %d: %w", pc, ins.Peer, errAborted)
+			case <-ctx.Done():
+				return fmt.Errorf("pc %d: send to card %d: %w", pc, ins.Peer, ctx.Err())
 			}
 		case OpRecv:
 			data, ok := pending[ins.Tag]
@@ -262,6 +274,8 @@ func (cl *Cluster) execute(card *Card, prog []Instr, abort <-chan struct{}) erro
 					}
 				case <-abort:
 					return fmt.Errorf("pc %d: recv tag %d: %w", pc, ins.Tag, errAborted)
+				case <-ctx.Done():
+					return fmt.Errorf("pc %d: recv tag %d: %w", pc, ins.Tag, ctx.Err())
 				}
 			}
 			delete(pending, ins.Tag)

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"math"
 	"math/cmplx"
 	"testing"
@@ -79,7 +80,7 @@ func TestDistributedConvMatchesSingleCard(t *testing.T) {
 	for c := 0; c < cards; c++ {
 		cl.Load(c, "x", ct)
 	}
-	if err := cl.Run(progs); err != nil {
+	if err := cl.Run(context.Background(), progs); err != nil {
 		t.Fatal(err)
 	}
 
@@ -156,7 +157,7 @@ func TestDistributedMatVecMatchesPlain(t *testing.T) {
 	for c := 0; c < cards; c++ {
 		cl.Load(c, "x", ct)
 	}
-	if err := cl.Run(progs); err != nil {
+	if err := cl.Run(context.Background(), progs); err != nil {
 		t.Fatal(err)
 	}
 	for c := 0; c < cards; c++ {
@@ -183,7 +184,7 @@ func TestClusterErrors(t *testing.T) {
 	e := newEnv(t, 6, 2, []int{1})
 	cl := New(e.params, e.eval, 2)
 	// Undefined register.
-	err := cl.Run([][]Instr{{{Op: OpRotate, Dst: "y", Src1: "missing", Imm: 1}}, nil})
+	err := cl.Run(context.Background(), [][]Instr{{{Op: OpRotate, Dst: "y", Src1: "missing", Imm: 1}}, nil})
 	if err == nil {
 		t.Fatal("expected undefined-register error")
 	}
@@ -191,12 +192,12 @@ func TestClusterErrors(t *testing.T) {
 	cl2 := New(e.params, e.eval, 2)
 	ct := e.encryptSeq(e.params.DefaultScale())
 	cl2.Load(0, "x", ct)
-	err = cl2.Run([][]Instr{{{Op: OpSend, Src1: "x", Peer: 5, Tag: 1}}, nil})
+	err = cl2.Run(context.Background(), [][]Instr{{{Op: OpSend, Src1: "x", Peer: 5, Tag: 1}}, nil})
 	if err == nil {
 		t.Fatal("expected bad-peer error")
 	}
 	// Program count mismatch.
-	if err := cl.Run([][]Instr{nil}); err == nil {
+	if err := cl.Run(context.Background(), [][]Instr{nil}); err == nil {
 		t.Fatal("expected program-count error")
 	}
 	// Get on missing register.
@@ -222,7 +223,7 @@ func TestOutOfOrderTagsAreBuffered(t *testing.T) {
 			{Op: OpRecv, Dst: "second", Tag: 2},
 		},
 	}
-	if err := cl.Run(progs); err != nil {
+	if err := cl.Run(context.Background(), progs); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := cl.Get(1, "first"); err != nil {
@@ -252,7 +253,7 @@ func TestPolySplitMatchesSingleCard(t *testing.T) {
 	cl := New(e.params, e.eval, 2)
 	cl.Load(0, "x", ct)
 	cl.Load(1, "x", ct)
-	if err := cl.Run(progs); err != nil {
+	if err := cl.Run(context.Background(), progs); err != nil {
 		t.Fatal(err)
 	}
 	y, err := cl.Get(0, "y")

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -21,7 +22,7 @@ func TestCardFailureUnblocksPeers(t *testing.T) {
 		{{Op: OpRecv, Dst: "u", Tag: 7}},
 	}
 	done := make(chan error, 1)
-	go func() { done <- cl.Run(progs) }()
+	go func() { done <- cl.Run(context.Background(), progs) }()
 	select {
 	case err := <-done:
 		if err == nil {
@@ -53,7 +54,7 @@ func TestCardFailureUnblocksBlockedSend(t *testing.T) {
 	}
 	progs := [][]Instr{p0, {{Op: OpPMult, Dst: "y", Src1: "nope"}}}
 	done := make(chan error, 1)
-	go func() { done <- cl.Run(progs) }()
+	go func() { done <- cl.Run(context.Background(), progs) }()
 	select {
 	case err := <-done:
 		if err == nil {
@@ -80,7 +81,7 @@ func TestRecvFailureAfterBadFrame(t *testing.T) {
 		{{Op: OpRecv, Dst: "v", Tag: 3}},
 	}
 	done := make(chan error, 1)
-	go func() { done <- cl.Run(progs) }()
+	go func() { done <- cl.Run(context.Background(), progs) }()
 	select {
 	case err := <-done:
 		if err == nil {
@@ -122,5 +123,80 @@ func TestBuilderValidation(t *testing.T) {
 	}
 	if _, err := BuildPolySplit(make([]float64, 20), 8); err == nil {
 		t.Fatal("BuildPolySplit: expected error for degree beyond two subtrees")
+	}
+}
+
+// TestCancellationUnblocksParkedRecv is the serving-layer timeout path: both
+// cards are parked on receives that no peer will ever satisfy (a hung job),
+// and only the caller's context cancellation can unwind them. Run must
+// return promptly with the context's error, not the abort marker.
+func TestCancellationUnblocksParkedRecv(t *testing.T) {
+	e := newEnv(t, 6, 2, []int{1})
+	cl := New(e.params, e.eval, 2)
+	progs := [][]Instr{
+		{{Op: OpRecv, Dst: "u", Tag: 40}},
+		{{Op: OpRecv, Dst: "v", Tag: 41}},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- cl.Run(ctx, progs) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected a cancellation error")
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled in the chain, got: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run ignored the cancelled context")
+	}
+}
+
+// TestCancellationUnblocksBlockedSend covers the other parked switch
+// operation under cancellation: card 0 saturates card 1's link buffer while
+// card 1 never drains it (it is itself parked on a recv).
+func TestCancellationUnblocksBlockedSend(t *testing.T) {
+	e := newEnv(t, 6, 2, []int{1})
+	cl := New(e.params, e.eval, 2)
+	ct := e.encryptSeq(e.params.DefaultScale())
+	cl.Load(0, "x", ct)
+	var p0 []Instr
+	for i := 0; i < 70; i++ {
+		p0 = append(p0, Instr{Op: OpSend, Src1: "x", Peer: 1, Tag: i})
+	}
+	progs := [][]Instr{p0, {{Op: OpRecv, Dst: "v", Tag: 99}}}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- cl.Run(ctx, progs) }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled in the chain, got: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run ignored the cancelled context while a send was parked")
+	}
+}
+
+// TestDeadlineAbortsComputeBoundProgram proves a card that never touches the
+// switch still honors the context: a long compute-only stream stops at the
+// first instruction boundary after the deadline passes.
+func TestDeadlineAbortsComputeBoundProgram(t *testing.T) {
+	e := newEnv(t, 6, 2, []int{1})
+	cl := New(e.params, e.eval, 1)
+	ct := e.encryptSeq(e.params.DefaultScale())
+	cl.Load(0, "x", ct)
+	var p0 []Instr
+	for i := 0; i < 100000; i++ {
+		p0 = append(p0, Instr{Op: OpRotate, Dst: "x", Src1: "x", Imm: 1})
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err := cl.Run(ctx, [][]Instr{p0})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got: %v", err)
 	}
 }

@@ -284,3 +284,28 @@ func TestAveragePowerIsPlausible(t *testing.T) {
 		}
 	}
 }
+
+func TestFleetServerGeometry(t *testing.T) {
+	f := Fleet{Cards: 20, CardsPerServer: 8}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Servers() != 3 {
+		t.Fatalf("servers = %d, want 3", f.Servers())
+	}
+	if f.ServerOf(7) != 0 || f.ServerOf(8) != 1 || f.ServerOf(19) != 2 {
+		t.Fatalf("server mapping wrong: %d %d %d", f.ServerOf(7), f.ServerOf(8), f.ServerOf(19))
+	}
+	if got := f.SpanServers([]int{0, 1, 2, 3}); got != 1 {
+		t.Fatalf("span of one-server set = %d, want 1", got)
+	}
+	if got := f.SpanServers([]int{6, 7, 8, 16}); got != 3 {
+		t.Fatalf("span of three-server set = %d, want 3", got)
+	}
+	if err := (Fleet{Cards: 0, CardsPerServer: 8}).Validate(); err == nil {
+		t.Fatal("zero-card fleet should fail validation")
+	}
+	if err := (Fleet{Cards: 8, CardsPerServer: 0}).Validate(); err == nil {
+		t.Fatal("zero-width fleet should fail validation")
+	}
+}

@@ -8,14 +8,14 @@ import (
 // schedPkgs are the packages executing or simulating the schedule, where a
 // swallowed error desynchronizes the discrete-event timeline or leaves peer
 // cards blocked on a handshake that will never complete.
-var schedPkgs = []string{"internal/sim", "internal/cluster", "internal/runtime"}
+var schedPkgs = []string{"internal/sim", "internal/cluster", "internal/runtime", "internal/serve"}
 
 // ErrDrop flags discarded error returns in the scheduling/execution
 // packages: calls whose error result is ignored entirely (expression
 // statements, go/defer calls) or assigned to the blank identifier.
 var ErrDrop = &Check{
 	Name: "errdrop",
-	Doc:  "discarded error return in internal/sim, internal/cluster, internal/runtime",
+	Doc:  "discarded error return in internal/sim, internal/cluster, internal/runtime, internal/serve",
 	Run:  runErrDrop,
 }
 

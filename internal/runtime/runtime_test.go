@@ -3,6 +3,7 @@ package runtime
 import (
 	"context"
 	"errors"
+	stdruntime "runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -219,5 +220,97 @@ func TestStatsAccumulateAcrossSteps(t *testing.T) {
 	stats := execute(t, b.Build(), Options{})
 	if stats.Sends != 2 || stats.BytesMoved != 12 {
 		t.Fatalf("stats %+v", stats)
+	}
+}
+
+// TestCancelMidStepWithInflightSends cancels an execution while transfers
+// are parked in flight: card 0's transmit engine has delivered one message
+// and is awaiting the ready handshake for the next, because card 1's receive
+// engine is stalled inside OnTransfer. Execute must unwind every engine and
+// report the abort; the goroutine census proves nothing leaked. This is the
+// serving layer's per-job timeout path (serve cancels a job whose deadline
+// passed while its cards are mid-handshake).
+func TestCancelMidStepWithInflightSends(t *testing.T) {
+	before := stdruntime.NumGoroutine()
+
+	b := task.NewBuilder(2, 2)
+	b.Step("s")
+	// Eight dependent transfers: each send waits on a compute, each receive
+	// gates a compute on card 1 (CAR), so both queues are busy when the
+	// cancellation lands.
+	for i := 0; i < 8; i++ {
+		h := b.Compute(0, fheop.Of(fheop.Rotation, 1), 18, "A")
+		recvs := b.Send(0, h, []int{1}, 1e6, "x")
+		b.ComputeAfterRecv(1, recvs[0], fheop.Of(fheop.HAdd, 1), 18, "B")
+	}
+	p := b.Build()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	entered := make(chan struct{})
+	hold := make(chan struct{})
+	var enteredOnce atomic.Bool
+	opts := Options{
+		OnTransfer: func(from, to int, bytes float64) error {
+			// Stall the first delivery so later sends park in flight
+			// (awaiting ready signals that will never be configured).
+			if enteredOnce.CompareAndSwap(false, true) {
+				close(entered)
+				<-hold
+			}
+			return nil
+		},
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := Execute(ctx, p, opts)
+		done <- err
+	}()
+	<-entered // transfer 0 delivered, engines busy, sends 1..7 in flight
+	cancel()
+	// The receive engine is blocked inside the hook, not on the context;
+	// release it after the cancellation so the abort must propagate through
+	// the handshake chains, not through the hook.
+	close(hold)
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected an abort error from the cancelled execution")
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled in the chain, got: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Execute ignored the mid-step cancellation")
+	}
+	// All engines (3 per card), the barrier goroutine and the executor must
+	// be gone; allow the runtime a moment to reap them.
+	deadline := time.Now().Add(5 * time.Second)
+	for stdruntime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := stdruntime.NumGoroutine(); now > before {
+		t.Fatalf("goroutine leak after cancelled execution: %d before, %d after", before, now)
+	}
+}
+
+// TestCancelBeforeStepRunsNothing: a context cancelled before Execute starts
+// must abort on the first step without invoking any hooks.
+func TestCancelBeforeStepRunsNothing(t *testing.T) {
+	b := task.NewBuilder(2, 2)
+	b.Step("s")
+	h := b.Compute(0, fheop.Of(fheop.Rotation, 1), 18, "A")
+	recvs := b.Send(0, h, []int{1}, 1, "x")
+	b.ComputeAfterRecv(1, recvs[0], fheop.Of(fheop.HAdd, 1), 18, "B")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var computes atomic.Int64
+	_, err := Execute(ctx, b.Build(), Options{
+		OnCompute: func(card int, c task.Compute) error { computes.Add(1); return nil },
+	})
+	if err == nil {
+		t.Fatal("expected an abort error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got: %v", err)
 	}
 }

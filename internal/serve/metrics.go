@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"time"
+)
+
+// maxSamples caps the latency sample buffers; beyond it, new samples are
+// dropped (the counters keep counting). 64k samples cover any realistic
+// load-test window without unbounded growth.
+const maxSamples = 1 << 16
+
+// Metrics is the serving layer's observability surface. Counters are
+// monotonic; gauges reflect the instantaneous scheduler state; the latency
+// buffers feed the percentile report. All methods are safe for concurrent
+// use.
+type Metrics struct {
+	mu sync.Mutex
+
+	submitted int64 // admitted into the queue
+	completed int64 // finished successfully
+	failed    int64 // finished with a non-cancellation error
+	canceled  int64 // cancelled or timed out while running
+	rejected  int64 // shed at admission (overload or closed)
+	expired   int64 // shed by deadline (at admission or in queue)
+
+	queued    int // gauge: jobs waiting
+	running   int // gauge: jobs executing
+	cardsBusy int // gauge: cards granted to running jobs
+
+	queueWait []float64 // seconds
+	exec      []float64 // seconds
+}
+
+func (m *Metrics) admit() {
+	m.mu.Lock()
+	m.submitted++
+	m.queued++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) reject() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) expire() {
+	m.mu.Lock()
+	m.expired++
+	m.mu.Unlock()
+}
+
+// expireQueued sheds a job that was already admitted.
+func (m *Metrics) expireQueued() {
+	m.mu.Lock()
+	m.expired++
+	m.queued--
+	m.mu.Unlock()
+}
+
+func (m *Metrics) start(cards int, wait time.Duration) {
+	m.mu.Lock()
+	m.queued--
+	m.running++
+	m.cardsBusy += cards
+	if len(m.queueWait) < maxSamples {
+		m.queueWait = append(m.queueWait, wait.Seconds())
+	}
+	m.mu.Unlock()
+}
+
+func (m *Metrics) finish(cards int, elapsed time.Duration, err error) {
+	m.mu.Lock()
+	m.running--
+	m.cardsBusy -= cards
+	switch {
+	case err == nil:
+		m.completed++
+		if len(m.exec) < maxSamples {
+			m.exec = append(m.exec, elapsed.Seconds())
+		}
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		m.canceled++
+	default:
+		m.failed++
+	}
+	m.mu.Unlock()
+}
+
+// Snapshot is a point-in-time copy of the metrics with derived percentiles.
+type Snapshot struct {
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+	Rejected  int64 `json:"rejected"`
+	Expired   int64 `json:"expired"`
+
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	CardsBusy int `json:"cards_busy"`
+
+	QueueWaitP50 float64 `json:"queue_wait_p50_s"`
+	QueueWaitP99 float64 `json:"queue_wait_p99_s"`
+	ExecP50      float64 `json:"exec_p50_s"`
+	ExecP99      float64 `json:"exec_p99_s"`
+}
+
+// Snapshot copies the current state.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Snapshot{
+		Submitted: m.submitted,
+		Completed: m.completed,
+		Failed:    m.failed,
+		Canceled:  m.canceled,
+		Rejected:  m.rejected,
+		Expired:   m.expired,
+		Queued:    m.queued,
+		Running:   m.running,
+		CardsBusy: m.cardsBusy,
+
+		QueueWaitP50: percentile(m.queueWait, 0.50),
+		QueueWaitP99: percentile(m.queueWait, 0.99),
+		ExecP50:      percentile(m.exec, 0.50),
+		ExecP99:      percentile(m.exec, 0.99),
+	}
+}
+
+// percentile returns the nearest-rank q-quantile of samples (0 when empty).
+func percentile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,105 @@
+package serve
+
+import "time"
+
+// pending is one admitted-but-not-yet-running job.
+type pending struct {
+	job       *Job
+	ticket    *Ticket
+	submitted time.Time
+	seq       uint64 // arrival order, the final tie-break
+}
+
+// rankBefore reports whether a should be served before b: higher priority
+// first, then earlier deadline (no deadline ranks last), then arrival order.
+// This is the single total order behind admission, dispatch and backfill, so
+// scheduler decisions are deterministic for a given queue content.
+func rankBefore(a, b *pending) bool {
+	if a.job.Priority != b.job.Priority {
+		return a.job.Priority > b.job.Priority
+	}
+	ad, bd := a.job.Deadline, b.job.Deadline
+	if !ad.IsZero() || !bd.IsZero() {
+		switch {
+		case bd.IsZero():
+			return true
+		case ad.IsZero():
+			return false
+		case !ad.Equal(bd):
+			return ad.Before(bd)
+		}
+	}
+	return a.seq < b.seq
+}
+
+// admitQueue is the bounded admission queue. Depth is small (tens of jobs —
+// beyond that Submit sheds load), so linear scans in rank order keep the
+// policy transparent and deterministic; there is no heap to reason about.
+type admitQueue struct {
+	max   int
+	items []*pending // arrival order; rank is computed, not maintained
+}
+
+func (q *admitQueue) len() int { return len(q.items) }
+
+// push admits p, or fails with ErrOverloaded when the queue is at capacity.
+func (q *admitQueue) push(p *pending) error {
+	if len(q.items) >= q.max {
+		return ErrOverloaded
+	}
+	q.items = append(q.items, p)
+	return nil
+}
+
+// popFit removes and returns the best-ranked job that fits freeCards, and
+// whether granting it is a backfill (a better-ranked job remains waiting
+// because its demand does not fit). Returns nil when nothing fits.
+func (q *admitQueue) popFit(freeCards int) (p *pending, backfill bool) {
+	best, bestIdx := (*pending)(nil), -1
+	skippedBetter := false
+	for i, it := range q.items {
+		if it.job.Cards > freeCards {
+			continue
+		}
+		if best == nil || rankBefore(it, best) {
+			best, bestIdx = it, i
+		}
+	}
+	if best == nil {
+		return nil, false
+	}
+	for _, it := range q.items {
+		if it != best && it.job.Cards > freeCards && rankBefore(it, best) {
+			skippedBetter = true
+			break
+		}
+	}
+	q.items = append(q.items[:bestIdx], q.items[bestIdx+1:]...)
+	return best, skippedBetter
+}
+
+// expire removes and returns jobs whose deadline has already passed.
+func (q *admitQueue) expire(now time.Time) []*pending {
+	var out []*pending
+	kept := q.items[:0]
+	for _, it := range q.items {
+		if !it.job.Deadline.IsZero() && now.After(it.job.Deadline) {
+			out = append(out, it)
+			continue
+		}
+		kept = append(kept, it)
+	}
+	// Clear the tail so shed jobs do not linger in the backing array.
+	for i := len(kept); i < len(q.items); i++ {
+		q.items[i] = nil
+	}
+	q.items = kept
+	return out
+}
+
+// drain empties the queue (server shutdown).
+func (q *admitQueue) drain() []*pending {
+	out := q.items
+	q.items = nil
+	return out
+}

@@ -1,0 +1,114 @@
+package serve
+
+import "sort"
+
+// freeList tracks the idle cards of the fleet, kept sorted ascending.
+type freeList struct {
+	cards []int
+}
+
+func newFreeList(n int) *freeList {
+	f := &freeList{cards: make([]int, n)}
+	for i := range f.cards {
+		f.cards[i] = i
+	}
+	return f
+}
+
+func (f *freeList) len() int { return len(f.cards) }
+
+// take removes and returns n cards chosen by allocateCards.
+func (f *freeList) take(n, cardsPerServer int) []int {
+	picked := allocateCards(f.cards, n, cardsPerServer)
+	taken := map[int]bool{}
+	for _, c := range picked {
+		taken[c] = true
+	}
+	kept := f.cards[:0]
+	for _, c := range f.cards {
+		if !taken[c] {
+			kept = append(kept, c)
+		}
+	}
+	for i := len(kept); i < len(f.cards); i++ {
+		f.cards[i] = 0
+	}
+	f.cards = kept
+	return picked
+}
+
+// add returns a job's cards to the pool.
+func (f *freeList) add(cards []int) {
+	f.cards = append(f.cards, cards...)
+	sort.Ints(f.cards)
+}
+
+// allocateCards picks n cards from the sorted free list, minimizing the
+// server span of the grant — a job confined to one server pays only
+// in-server switch hops for its intra-job broadcasts, while every extra
+// server turns them into inter-server transfers (hw.NetworkProfile).
+//
+// Policy, deterministic for a given free list:
+//  1. If some server can hold the whole job, use the fullest-fitting server:
+//     the one with the fewest free cards that still fit (best fit, so big
+//     future jobs keep finding whole servers), lowest server index on ties.
+//  2. Otherwise span servers, taking from the emptiest-loaded (most free
+//     cards) servers first to touch as few servers as possible, lowest
+//     server index on ties.
+//
+// Within a server, lowest-numbered cards are taken first. The result is
+// sorted ascending. Callers guarantee n <= len(free); n <= 0 returns nil.
+func allocateCards(free []int, n, cardsPerServer int) []int {
+	if n <= 0 || n > len(free) {
+		return nil
+	}
+	// Group the free cards by server, preserving ascending card order.
+	byServer := map[int][]int{}
+	var servers []int
+	for _, c := range free {
+		srv := c / cardsPerServer
+		if _, ok := byServer[srv]; !ok {
+			servers = append(servers, srv)
+		}
+		byServer[srv] = append(byServer[srv], c)
+	}
+	sort.Ints(servers)
+
+	// Best fit: the smallest server pool that holds the whole job.
+	bestSrv, bestFree := -1, 0
+	for _, srv := range servers {
+		if have := len(byServer[srv]); have >= n {
+			if bestSrv < 0 || have < bestFree {
+				bestSrv, bestFree = srv, have
+			}
+		}
+	}
+	if bestSrv >= 0 {
+		out := make([]int, n)
+		copy(out, byServer[bestSrv][:n])
+		return out
+	}
+
+	// Spanning grant: fewest servers, fullest pools first.
+	sort.SliceStable(servers, func(a, b int) bool {
+		fa, fb := len(byServer[servers[a]]), len(byServer[servers[b]])
+		if fa != fb {
+			return fa > fb
+		}
+		return servers[a] < servers[b]
+	})
+	out := make([]int, 0, n)
+	for _, srv := range servers {
+		pool := byServer[srv]
+		need := n - len(out)
+		if need <= 0 {
+			break
+		}
+		if need > len(pool) {
+			need = len(pool)
+		}
+		out = append(out, pool[:need]...)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,340 @@
+// Package serve is the multi-tenant serving layer over the Hydra card pool:
+// the control plane that turns the repo's one-job-at-a-time execution into a
+// datacenter-style fleet. Procedure 2 of the paper schedules a single
+// inference across all cards of one machine; serve extends it to
+// many-jobs-many-cards — FHE inference jobs arrive with a priority, deadline
+// and card demand, pass bounded admission control, and a work-conserving
+// fleet scheduler partitions the physical card pool across the jobs that are
+// running concurrently.
+//
+// The moving parts:
+//
+//   - Admission (admitQueue): a bounded queue ordered by priority, then
+//     deadline, then arrival. When it is full, Submit fails fast with
+//     ErrOverloaded instead of queueing unboundedly — saturation sheds load
+//     at the front door, it does not grow memory.
+//   - Allocation (allocateCards): a job granted n cards gets the card set
+//     minimizing server span, because a job confined to one server pays only
+//     in-server switch hops for its intra-job broadcasts (sim.RunOn prices
+//     the difference).
+//   - Backfill: when the best-ranked waiting job does not fit the free
+//     cards, smaller jobs behind it may run first. The pool never idles
+//     while any waiting job fits (work conservation).
+//   - Execution (Backend): the same job runs against the analytic simulator
+//     (SimBackend — capacity planning, load tests) or the functional CKKS
+//     cluster (ClusterBackend — end-to-end validation), behind one
+//     interface. Every job runs under a context assembled from its timeout
+//     and deadline; cancellation propagates into the card engines.
+//   - Observability (Metrics): queue-wait and execution-latency samples,
+//     cards-busy/queued/running gauges, and admission counters, snapshot at
+//     any time; cmd/hydra-serve turns them into BENCH_serve.json.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"hydra/internal/hw"
+	"hydra/internal/sim"
+)
+
+// Typed admission failures. Submit wraps these so callers can errors.Is.
+var (
+	// ErrOverloaded is graceful rejection under saturation: the admission
+	// queue is full, so the job is shed instead of queued unboundedly.
+	ErrOverloaded = errors.New("serve: overloaded: admission queue full")
+	// ErrClosed reports submission to (or abandonment by) a closed server.
+	ErrClosed = errors.New("serve: server closed")
+	// ErrInfeasible reports a job whose card demand exceeds the whole fleet.
+	ErrInfeasible = errors.New("serve: job demands more cards than the fleet has")
+	// ErrDeadline reports a job whose deadline has already passed, or cannot
+	// be met even if the job started immediately (per its estimated cost).
+	ErrDeadline = errors.New("serve: deadline cannot be met")
+)
+
+// Config describes a serving deployment.
+type Config struct {
+	// Fleet is the physical card pool being scheduled.
+	Fleet hw.Fleet
+	// Backend executes granted jobs.
+	Backend Backend
+	// QueueDepth bounds the admission queue (0 = DefaultQueueDepth).
+	QueueDepth int
+	// DefaultTimeout caps jobs that carry no timeout of their own
+	// (0 = uncapped).
+	DefaultTimeout time.Duration
+	// Estimator, when set, prices each admitted job's program on this
+	// analytic machine model (identity placement, the job's own card count)
+	// to fill Job.EstCost. The estimate feeds deadline admission control and
+	// the report; it never blocks dispatch.
+	Estimator *sim.Config
+}
+
+// DefaultQueueDepth is the admission bound when Config.QueueDepth is zero.
+const DefaultQueueDepth = 64
+
+// Server schedules jobs over the card pool.
+type Server struct {
+	cfg     Config
+	backend Backend
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signaled whenever queued/running work drains
+	q       *admitQueue
+	free    *freeList
+	running int
+	closed  bool
+	seq     uint64
+
+	metrics Metrics
+	wg      sync.WaitGroup // one entry per in-flight job goroutine
+
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+
+	now func() time.Time // clock hook (tests use a fake clock)
+}
+
+// New builds a server over the configured fleet.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.Fleet.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Backend == nil {
+		return nil, fmt.Errorf("serve: config needs a backend")
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	s := &Server{
+		cfg:     cfg,
+		backend: cfg.Backend,
+		q:       &admitQueue{max: depth},
+		free:    newFreeList(cfg.Fleet.Cards),
+		now:     time.Now,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.baseCtx, s.cancelAll = context.WithCancel(context.Background())
+	return s, nil
+}
+
+// Metrics returns the server's metrics surface.
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// Submit admits a job. It returns immediately with a Ticket tracking the
+// job's lifecycle, or a typed error: ErrOverloaded when the admission queue
+// is full, ErrInfeasible when the demand can never fit the fleet, ErrDeadline
+// when the deadline is already unmeetable, ErrClosed after Close.
+func (s *Server) Submit(job *Job) (*Ticket, error) {
+	if err := job.validate(s.cfg.Fleet); err != nil {
+		return nil, err
+	}
+	// Price the job before taking the scheduler lock: estimation simulates
+	// the job's program and must not serialize admissions behind it.
+	if job.EstCost == 0 && s.cfg.Estimator != nil && job.Build != nil {
+		if est, err := estimate(job, *s.cfg.Estimator); err == nil {
+			job.EstCost = est
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		s.metrics.reject()
+		return nil, ErrClosed
+	}
+	now := s.now()
+	if !job.Deadline.IsZero() && now.Add(durationOf(job.EstCost)).After(job.Deadline) {
+		s.metrics.expire()
+		return nil, fmt.Errorf("serve: job %s: %w", job.ID, ErrDeadline)
+	}
+	t := newTicket(job.ID)
+	p := &pending{job: job, ticket: t, submitted: now, seq: s.seq}
+	s.seq++
+	if err := s.q.push(p); err != nil {
+		s.metrics.reject()
+		return nil, fmt.Errorf("serve: job %s: %w", job.ID, err)
+	}
+	s.metrics.admit()
+	s.dispatchLocked()
+	return t, nil
+}
+
+// durationOf converts the analytic cost model's seconds to a duration.
+func durationOf(seconds float64) time.Duration {
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// dispatchLocked drains the admission queue onto free cards: expired jobs
+// are shed, then jobs are granted in rank order with smaller jobs
+// backfilling past ranked-ahead jobs that do not fit. Callers hold s.mu.
+func (s *Server) dispatchLocked() {
+	now := s.now()
+	for _, p := range s.q.expire(now) {
+		s.metrics.expireQueued()
+		p.ticket.complete(nil, fmt.Errorf("serve: job %s expired in queue: %w", p.job.ID, ErrDeadline))
+	}
+	for {
+		p, backfill := s.q.popFit(s.free.len())
+		if p == nil {
+			return
+		}
+		cards := s.free.take(p.job.Cards, s.cfg.Fleet.CardsPerServer)
+		s.running++
+		s.metrics.start(len(cards), now.Sub(p.submitted))
+		s.wg.Add(1)
+		go s.runJob(p, cards, backfill)
+	}
+}
+
+// runJob executes one granted job on its card set and recycles the cards.
+func (s *Server) runJob(p *pending, cards []int, backfill bool) {
+	defer s.wg.Done()
+	ctx := s.baseCtx
+	cancel := context.CancelFunc(func() {})
+	timeout := p.job.Timeout
+	if timeout == 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	}
+	if !p.job.Deadline.IsZero() {
+		dctx, dcancel := context.WithDeadline(ctx, p.job.Deadline)
+		prev := cancel
+		ctx, cancel = dctx, func() { dcancel(); prev() }
+	}
+	started := time.Now()
+	rep, err := s.backend.Run(ctx, p.job, sim.Placement{Cards: cards, CardsPerServer: s.cfg.Fleet.CardsPerServer})
+	elapsed := time.Since(started)
+	cancel()
+
+	s.mu.Lock()
+	s.free.add(cards)
+	s.running--
+	s.metrics.finish(len(cards), elapsed, err)
+	s.dispatchLocked()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	if err != nil {
+		p.ticket.complete(nil, fmt.Errorf("serve: job %s: %w", p.job.ID, err))
+		return
+	}
+	res := &Result{
+		JobID:      p.job.ID,
+		Backend:    s.backend.Name(),
+		Cards:      cards,
+		Backfilled: backfill,
+		QueueWait:  started.Sub(realOrZero(p.submitted, started)),
+		ExecTime:   elapsed,
+		EstCost:    p.job.EstCost,
+	}
+	if rep != nil {
+		res.SimSeconds = rep.SimSeconds
+	}
+	p.ticket.complete(res, nil)
+}
+
+// realOrZero guards QueueWait against fake clocks: when the submission stamp
+// comes from a test clock unrelated to the wall clock, the wait is reported
+// as zero rather than as a nonsense difference.
+func realOrZero(submitted, started time.Time) time.Time {
+	if submitted.After(started) {
+		return started
+	}
+	return submitted
+}
+
+// Drain blocks until the queue is empty and no job is running. Admission
+// stays open; callers stop submitting before draining.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for !s.closed && (s.q.len() > 0 || s.running > 0) {
+		s.cond.Wait()
+	}
+}
+
+// Close rejects the queued jobs, cancels the running ones, and waits for
+// every job goroutine to exit. After Close returns the server holds no
+// goroutines and accepts no work.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for _, p := range s.q.drain() {
+		s.metrics.reject()
+		p.ticket.complete(nil, fmt.Errorf("serve: job %s: %w", p.job.ID, ErrClosed))
+	}
+	s.cancelAll()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Ticket tracks one admitted job.
+type Ticket struct {
+	JobID string
+	done  chan struct{}
+	once  sync.Once
+	res   *Result
+	err   error
+}
+
+func newTicket(id string) *Ticket {
+	return &Ticket{JobID: id, done: make(chan struct{})}
+}
+
+func (t *Ticket) complete(res *Result, err error) {
+	t.once.Do(func() {
+		t.res, t.err = res, err
+		close(t.done)
+	})
+}
+
+// Done returns a channel closed when the job finishes (in any state).
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Wait blocks until the job finishes or the caller's context expires.
+func (t *Ticket) Wait(ctx context.Context) (*Result, error) {
+	select {
+	case <-t.done:
+		return t.res, t.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Result is the record of one completed job.
+type Result struct {
+	JobID      string
+	Backend    string
+	Cards      []int // physical card set the job ran on
+	Backfilled bool  // granted past a ranked-ahead job that did not fit
+	QueueWait  time.Duration
+	ExecTime   time.Duration
+	SimSeconds float64 // analytic makespan (sim backend; 0 otherwise)
+	EstCost    float64 // admission-time estimate, seconds
+}
+
+// estimate prices a job by simulating its program on the estimator machine
+// with identity placement (the job's cards packed from 0, the best case).
+func estimate(job *Job, cfg sim.Config) (float64, error) {
+	prog, err := job.Build(job.Cards)
+	if err != nil {
+		return 0, err
+	}
+	res, err := sim.Run(prog, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return res.Makespan, nil
+}

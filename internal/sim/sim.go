@@ -33,12 +33,14 @@ type Config struct {
 	CollectTrace bool
 }
 
-// TraceEvent is one scheduled task occurrence.
+// TraceEvent is one scheduled task occurrence. The JSON tags are the wire
+// shape of `hydrasim -trace-json`.
 type TraceEvent struct {
-	Card       int
-	Kind       string // "compute", "send" or "recv"
-	Label      string
-	Start, End float64
+	Card  int     `json:"card"`
+	Kind  string  `json:"kind"` // "compute", "send" or "recv"
+	Label string  `json:"label"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
 }
 
 // HydraConfig returns the standard Hydra machine configuration.
@@ -149,12 +151,78 @@ func (r *Result) StepSpanByName() map[string]float64 {
 	return m
 }
 
+// Placement maps a program's logical cards onto a subset of a physical
+// fleet. Cards[i] names the physical card running logical card i; the
+// physical identities matter only for network timing, because transfers
+// between cards of the same physical server ride the in-server switch while
+// transfers crossing a server boundary pay the inter-server links.
+// CardsPerServer is the physical fleet's server width (which may differ from
+// the program's own CardsPerServer, fixed when the program was built for a
+// standalone machine of exactly its size).
+type Placement struct {
+	Cards          []int
+	CardsPerServer int
+}
+
+// identity is the trivial placement: logical card i on physical card i.
+func identity(p *task.Program) Placement {
+	ids := make([]int, p.Cards)
+	for i := range ids {
+		ids[i] = i
+	}
+	return Placement{Cards: ids, CardsPerServer: p.CardsPerServer}
+}
+
+func (pl Placement) validate(p *task.Program) error {
+	if len(pl.Cards) != p.Cards {
+		return fmt.Errorf("sim: placement has %d cards for a %d-card program", len(pl.Cards), p.Cards)
+	}
+	if pl.CardsPerServer <= 0 {
+		return fmt.Errorf("sim: placement needs a positive CardsPerServer, got %d", pl.CardsPerServer)
+	}
+	seen := map[int]bool{}
+	for _, c := range pl.Cards {
+		if c < 0 {
+			return fmt.Errorf("sim: negative physical card %d in placement", c)
+		}
+		if seen[c] {
+			return fmt.Errorf("sim: physical card %d appears twice in placement", c)
+		}
+		seen[c] = true
+	}
+	return nil
+}
+
+// phys maps a slice of logical card IDs to their physical identities.
+func (pl Placement) phys(logical []int) []int {
+	out := make([]int, len(logical))
+	for i, c := range logical {
+		out[i] = pl.Cards[c]
+	}
+	return out
+}
+
 // Run executes the program on the configured machine.
 func Run(p *task.Program, cfg Config) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	return RunOn(p, cfg, identity(p))
+}
+
+// RunOn executes the program with its logical cards placed on a subset of a
+// larger physical fleet per pl. The serving layer uses this to cost the same
+// job program differently depending on where the scheduler lands it: a
+// placement confined to one server sees only in-server switch hops, while a
+// placement spanning servers pays inter-server transfers.
+func RunOn(p *task.Program, cfg Config, pl Placement) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
 	if err := cfg.Card.Validate(); err != nil {
+		return nil, err
+	}
+	if err := pl.validate(p); err != nil {
 		return nil, err
 	}
 	res := &Result{
@@ -164,7 +232,7 @@ func Run(p *task.Program, cfg Config) (*Result, error) {
 	}
 	now := 0.0
 	for _, st := range p.Steps {
-		stat, err := runStep(st, p, cfg, now, res)
+		stat, err := runStep(st, p, cfg, pl, now, res)
 		if err != nil {
 			return nil, fmt.Errorf("sim: step %q: %w", st.Name, err)
 		}
@@ -194,7 +262,7 @@ type node struct {
 	indeg    int
 }
 
-func runStep(st *task.Step, p *task.Program, cfg Config, start float64, res *Result) (StepStat, error) {
+func runStep(st *task.Step, p *task.Program, cfg Config, pl Placement, start float64, res *Result) (StepStat, error) {
 	// --- Node construction -------------------------------------------------
 	var nodes []node
 	add := func(n node) int {
@@ -296,10 +364,10 @@ func runStep(st *task.Step, p *task.Program, cfg Config, start float64, res *Res
 				addEdge(send, doneID[ref.card][ref.index])  // data arrival
 				// Receiver-port drain time (store-and-forward).
 				nodes[doneID[ref.card][ref.index]].duration =
-					cfg.Network.RecvTime(c.Bytes, card, ref.card, p.CardsPerServer)
+					cfg.Network.RecvTime(c.Bytes, pl.Cards[card], pl.Cards[ref.card], pl.CardsPerServer)
 			}
 			// Sender-side injection occupancy.
-			nodes[send].duration = cfg.Network.SendTime(c.Bytes, card, c.Peers, p.CardsPerServer)
+			nodes[send].duration = cfg.Network.SendTime(c.Bytes, pl.Cards[card], pl.phys(c.Peers), pl.CardsPerServer)
 		}
 	}
 

@@ -319,3 +319,75 @@ func TestHandshakeOrdering(t *testing.T) {
 		t.Fatalf("makespan %g should include the receiver's compute plus the CAR task", res.Makespan)
 	}
 }
+
+func TestRunOnIdentityMatchesRun(t *testing.T) {
+	cfg := HydraConfig()
+	b := task.NewBuilder(4, 8)
+	b.Step("s")
+	for c := 0; c < 4; c++ {
+		h := b.Compute(c, rotOnly(3), 18, "A")
+		peers := []int{}
+		for p := 0; p < 4; p++ {
+			if p != c {
+				peers = append(peers, p)
+			}
+		}
+		b.Send(c, h, peers, 1e6, "x")
+	}
+	p := b.Build()
+	base, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placed, err := RunOn(p, cfg, Placement{Cards: []int{0, 1, 2, 3}, CardsPerServer: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Makespan != placed.Makespan {
+		t.Fatalf("identity placement changed the makespan: %g vs %g", base.Makespan, placed.Makespan)
+	}
+}
+
+func TestRunOnServerSpanSlowsTransfers(t *testing.T) {
+	// The same two-card program placed inside one server vs. across a server
+	// boundary: the cross-server placement pays the slower inter-server links,
+	// so its makespan must be strictly larger.
+	cfg := HydraConfig()
+	b := task.NewBuilder(2, 2)
+	b.Step("s")
+	c0 := b.Compute(0, fheop.Of(fheop.HAdd, 1), 18, "A")
+	recvs := b.Send(0, c0, []int{1}, 8e6, "x")
+	b.ComputeAfterRecv(1, recvs[0], fheop.Of(fheop.HAdd, 1), 18, "B")
+	p := b.Build()
+
+	local, err := RunOn(p, cfg, Placement{Cards: []int{8, 9}, CardsPerServer: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spanning, err := RunOn(p, cfg, Placement{Cards: []int{7, 8}, CardsPerServer: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spanning.Makespan <= local.Makespan {
+		t.Fatalf("cross-server placement should be slower: local %g, spanning %g", local.Makespan, spanning.Makespan)
+	}
+}
+
+func TestRunOnRejectsBadPlacements(t *testing.T) {
+	cfg := HydraConfig()
+	b := task.NewBuilder(2, 2)
+	b.Step("s")
+	b.Compute(0, rotOnly(1), 18, "A")
+	p := b.Build()
+	bad := []Placement{
+		{Cards: []int{0}, CardsPerServer: 8},     // wrong arity
+		{Cards: []int{0, 0}, CardsPerServer: 8},  // duplicate physical card
+		{Cards: []int{0, -1}, CardsPerServer: 8}, // negative card
+		{Cards: []int{0, 1}, CardsPerServer: 0},  // bad server width
+	}
+	for i, pl := range bad {
+		if _, err := RunOn(p, cfg, pl); err == nil {
+			t.Fatalf("placement %d should have been rejected", i)
+		}
+	}
+}

@@ -9,13 +9,18 @@
 #   BENCH_ckks.json     CMult/relin, direct vs hoisted vs ext-hoisted rotations
 #   BENCH_hefloat.json  naive/BSGS/reference linear transforms, PCMM(+compiled),
 #                       CCMM, BootstrapSmall serial+parallel
+#   BENCH_serve.json    serving-layer open-loop load replay (cmd/hydra-serve):
+#                       jobs/sec and latency percentiles per fleet size
 #
 # EXPERIMENTS.md tables are derived from this output.
 #
-# Usage: scripts/bench.sh [smoke]
-#   smoke    run every benchmark for a single iteration (-benchtime=1x):
-#            the CI gate that keeps the harness and the JSON writer working
-#            without paying full measurement time.
+# Usage: scripts/bench.sh [smoke|serve]
+#   smoke    run every benchmark for a single iteration (-benchtime=1x) and
+#            the serve replay with a 1-second horizon: the CI gate that keeps
+#            the harness and the JSON writers working without paying full
+#            measurement time.
+#   serve    run only the serving-layer load replay (the `make serve-bench`
+#            entry point).
 #
 # Environment:
 #   BENCH_DIR    output directory (default: repo root)
@@ -26,8 +31,29 @@ cd "$(dirname "$0")/.."
 
 BENCH_DIR=${BENCH_DIR:-.}
 BENCHTIME=${BENCHTIME:-1s}
-if [ "${1:-}" = "smoke" ]; then
+SUITE=all
+# Measured defaults: two fleet sizes spanning one server and four, an arrival
+# rate that queues the small fleet without melting it, and a dilation scaling
+# the simulated makespans into a few-second wall-clock run.
+SERVE_ARGS="-fleets 8,32 -rate 40 -duration 3s -dilation 0.25 -seed 1"
+case "${1:-}" in
+smoke)
 	BENCHTIME=1x
+	SERVE_ARGS="-fleets 8,16 -rate 20 -duration 1s -dilation 0.1 -seed 1"
+	;;
+serve)
+	SUITE=serve
+	;;
+esac
+
+run_serve() {
+	go run ./cmd/hydra-serve $SERVE_ARGS -out "$BENCH_DIR/BENCH_serve.json"
+	echo "bench: wrote $(grep -c '"cards":' "$BENCH_DIR/BENCH_serve.json") fleet reports to $BENCH_DIR/BENCH_serve.json"
+}
+
+if [ "$SUITE" = "serve" ]; then
+	run_serve
+	exit 0
 fi
 
 RAW=$(mktemp)
@@ -90,3 +116,5 @@ run_suite \
 run_suite \
 	'^(BenchmarkLinearTransform|BenchmarkPCMM|BenchmarkCCMM|BenchmarkBootstrapSmall)' \
 	./internal/hefloat/ "$BENCH_DIR/BENCH_hefloat.json"
+
+run_serve

@@ -16,12 +16,13 @@ go vet ./...
 echo "== hydra-lint (FHE + concurrency invariants)"
 go run ./cmd/hydra-lint ./...
 
-echo "== go test -race (pool + evaluator + runtimes)"
+echo "== go test -race (pool + evaluator + runtimes + serving layer)"
 go test -race "$@" \
 	./internal/ring/... \
 	./internal/ckks/... \
 	./internal/runtime/... \
-	./internal/cluster/...
+	./internal/cluster/... \
+	./internal/serve/...
 
 echo "== go test -race -short (plan cache + double-hoisted BSGS)"
 # The hefloat suite includes the concurrent shared-plan and the
@@ -34,13 +35,23 @@ go test ./...
 
 echo "== bench harness smoke (1 iteration per benchmark)"
 # Write to a scratch directory: the smoke run validates the harness and the
-# JSON writer for all three suites without clobbering the checked-in measured
-# BENCH_ring.json / BENCH_ckks.json / BENCH_hefloat.json.
+# JSON writers for all four suites without clobbering the checked-in
+# measured BENCH_*.json files.
 SMOKE_DIR="$(mktemp -d)"
 BENCH_DIR="$SMOKE_DIR" sh scripts/bench.sh smoke >/dev/null
-for f in BENCH_ring.json BENCH_ckks.json BENCH_hefloat.json; do
+for f in BENCH_ring.json BENCH_ckks.json BENCH_hefloat.json BENCH_serve.json; do
 	[ -s "$SMOKE_DIR/$f" ] || { echo "ci: bench smoke did not write $f" >&2; exit 1; }
 done
 rm -rf "$SMOKE_DIR"
+
+echo "== hydra-serve smoke (1-second open-loop load)"
+# Drives the serving layer end to end — admission, card allocation, backfill,
+# drain — with a short synthetic Poisson replay; validates the report writer
+# without clobbering the checked-in measured BENCH_serve.json.
+SERVE_DIR="$(mktemp -d)"
+go run ./cmd/hydra-serve -fleets 8 -rate 20 -duration 1s -dilation 0.1 \
+	-out "$SERVE_DIR/BENCH_serve.json"
+[ -s "$SERVE_DIR/BENCH_serve.json" ] || { echo "ci: hydra-serve smoke wrote no report" >&2; exit 1; }
+rm -rf "$SERVE_DIR"
 
 echo "ci: OK"
