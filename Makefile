@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race ci bench bench-json serve-bench fuzz golden-update
+.PHONY: all build test lint race ci bench bench-json serve-bench fuzz golden-update conformance conformance-update
 
 all: build test
 
@@ -58,3 +58,16 @@ fuzz:
 # Regenerate the experiment golden snapshots after an intentional change.
 golden-update:
 	$(GO) test ./internal/experiments/ -run TestGolden -update
+
+# Cross-engine conformance matrix: the full program corpus (including the
+# heavy bootstrap program) against the reference, optimized, cluster and sim
+# engines, with every cell checked against its precision budget and the
+# checked-in golden pass matrix. See DESIGN.md "Cross-engine conformance".
+conformance:
+	$(GO) test -count=1 -v -run TestConformanceMatrix ./internal/conformance/
+
+# Re-bless the conformance golden matrix after intentionally growing the
+# corpus or changing engine coverage. Refuses to run from a failing or
+# -short (reduced) matrix.
+conformance-update:
+	$(GO) test -count=1 -run TestConformanceMatrix -update ./internal/conformance/

@@ -17,6 +17,17 @@ func (ct *Ciphertext) CopyNew() *Ciphertext {
 	return &Ciphertext{C0: ct.C0.CopyNew(), C1: ct.C1.CopyNew(), Scale: ct.Scale}
 }
 
+// Equal reports whether ct and other are bitwise identical: same scale and
+// identical residues in both components. This is deliberately strict — it is
+// the predicate differential tests use to pin optimized execution paths
+// bit-exact against their reference counterparts.
+func (ct *Ciphertext) Equal(other *Ciphertext) bool {
+	if other == nil || ct.Scale != other.Scale {
+		return false
+	}
+	return ct.C0.Equal(other.C0) && ct.C1.Equal(other.C1)
+}
+
 // DropLevel discards the top n moduli of the ciphertext (no rounding; the
 // scale is unchanged). Used to align levels before binary operations.
 func (ct *Ciphertext) DropLevel(n int) {

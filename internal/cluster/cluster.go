@@ -55,6 +55,9 @@ const (
 	OpCopy                     // Dst = Src1
 	OpSend                     // transmit Src1 to card Peer under tag Tag
 	OpRecv                     // receive tag Tag into Dst
+	OpNeg                      // Dst = -Src1
+	OpConjugate                // Dst = Conjugate(Src1)
+	OpRaise                    // Dst = RaiseModulus(Src1); Src1 must sit at level 0
 )
 
 // Instr is one instruction of a card's stream.
@@ -240,6 +243,24 @@ func (cl *Cluster) execute(ctx context.Context, card *Card, prog []Instr, abort 
 				return err
 			}
 			card.Store[ins.Dst] = card.Eval.AddConst(src, ins.Const)
+		case OpNeg:
+			src, err := get(ins.Src1)
+			if err != nil {
+				return err
+			}
+			card.Store[ins.Dst] = card.Eval.Neg(src)
+		case OpConjugate:
+			src, err := get(ins.Src1)
+			if err != nil {
+				return err
+			}
+			card.Store[ins.Dst] = card.Eval.Conjugate(src)
+		case OpRaise:
+			src, err := get(ins.Src1)
+			if err != nil {
+				return err
+			}
+			card.Store[ins.Dst] = card.Eval.RaiseModulus(src)
 		case OpCopy:
 			src, err := get(ins.Src1)
 			if err != nil {

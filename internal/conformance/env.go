@@ -1,0 +1,198 @@
+package conformance
+
+import (
+	"fmt"
+	"sort"
+
+	"hydra/internal/ckks"
+	"hydra/internal/hefloat"
+)
+
+// paramKey groups programs that can share one parameter environment (and
+// hence one key generation, the expensive part of the matrix).
+type paramKey struct {
+	logN, levels, logP, sparse int
+}
+
+func keyOf(s *ProgramSpec) paramKey {
+	k := paramKey{logN: s.Params.LogN, levels: s.Params.Levels, logP: s.Params.LogP, sparse: s.Params.Sparse}
+	if k.logP == 0 {
+		k.logP = 50
+	}
+	return k
+}
+
+// Env is one fully keyed CKKS environment. The harness builds each
+// environment twice from the same deterministic seeds — a main instance and a
+// reference twin whose ring dispatches through the radix-2 five-pass NTT
+// oracles (ring.SetReferenceNTT) — so ciphertexts produced by shared code
+// paths are bit-comparable across the two.
+type Env struct {
+	Key     paramKey
+	Params  *ckks.Parameters
+	Encoder *ckks.Encoder
+	PK      *ckks.PublicKey
+	SK      *ckks.SecretKey
+	Dec     *ckks.Decryptor
+	Eval    *ckks.Evaluator
+
+	boot *hefloat.Bootstrapper // lazily built; reference flag follows the env
+	ref  bool
+}
+
+// bootOptions is the one bootstrapper configuration the corpus uses: the
+// default K=16 overflow bound (8 double-angle iterations) over a sparse
+// secret, matching the repo's bootstrap tests.
+func bootOptions(reference bool) hefloat.BootstrapperOptions {
+	return hefloat.BootstrapperOptions{K: 16, ReferenceBSGS: reference}
+}
+
+// rotationsFor returns every rotation index the given program may need on any
+// engine (naive, BSGS baby/giant, cluster lowering), plus whether conjugation
+// keys are required.
+func rotationsFor(s *ProgramSpec) (rots []int, conjugate bool, err error) {
+	slots := s.Slots()
+	set := map[int]bool{}
+	add := func(rs ...int) {
+		for _, r := range rs {
+			if r != 0 {
+				set[r] = true
+			}
+		}
+	}
+	for _, op := range s.Ops {
+		switch op.Op {
+		case "rotate":
+			add(op.K)
+		case "rotsum", "rotsumext":
+			for i := 1; i < op.K; i++ {
+				add(i)
+			}
+		case "conjugate":
+			conjugate = true
+		case "lintrans":
+			m, err := GenMatrix(op.Matrix, slots)
+			if err != nil {
+				return nil, false, err
+			}
+			lt, err := hefloat.NewLinearTransform(m)
+			if err != nil {
+				return nil, false, err
+			}
+			add(lt.Rotations()...)
+			if op.BS > 0 {
+				add(lt.RotationsBSGS(op.BS)...)
+			}
+		case "pcmm":
+			add(hefloat.PCMMRotations(isqrt(slots))...)
+		case "ccmm":
+			add(hefloat.CCMMRotations(isqrt(slots))...)
+		case "bootstrap":
+			conjugate = true
+			// BootstrapRotations needs only slot/baby-step shape, both fully
+			// determined by the spec; compute without a parameter set by
+			// replicating the baby/giant split.
+			bs := 1
+			for bs*bs < slots {
+				bs <<= 1
+			}
+			for j := 1; j < bs; j++ {
+				add(j)
+			}
+			for g := bs; g < slots; g += bs {
+				add(g)
+			}
+		}
+	}
+	rots = make([]int, 0, len(set))
+	for r := range set {
+		rots = append(rots, r)
+	}
+	sort.Ints(rots)
+	return rots, conjugate, nil
+}
+
+// buildEnv constructs one environment. reference flips the ring onto the
+// radix-2 reference NTT kernels after key generation; since the kernel
+// families are bit-identical (pinned in internal/ring), the keys themselves
+// are unaffected and the main and reference instances hold identical key
+// material.
+func buildEnv(key paramKey, rots []int, conjugate, reference bool) (*Env, error) {
+	logQ := make([]int, 0, key.levels+1)
+	logQ = append(logQ, 50)
+	for i := 0; i < key.levels; i++ {
+		logQ = append(logQ, 45)
+	}
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{
+		LogN:  key.logN,
+		LogQ:  logQ,
+		LogP:  key.logP,
+		Scale: 1 << 45,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("conformance: params %+v: %w", key, err)
+	}
+	kg := ckks.NewKeyGenerator(params, 1)
+	var sk *ckks.SecretKey
+	if key.sparse > 0 {
+		sk = kg.GenSecretKeySparse(key.sparse)
+	} else {
+		sk = kg.GenSecretKey()
+	}
+	pk := kg.GenPublicKey(sk)
+	rlk := kg.GenRelinearizationKey(sk)
+	rtks := kg.GenRotationKeys(sk, rots, conjugate)
+	env := &Env{
+		Key:     key,
+		Params:  params,
+		Encoder: ckks.NewEncoder(params),
+		PK:      pk,
+		SK:      sk,
+		Dec:     ckks.NewDecryptor(params, sk),
+		Eval:    ckks.NewEvaluator(params, rlk, rtks),
+		ref:     reference,
+	}
+	if reference {
+		params.RingQP().SetReferenceNTT(true)
+	}
+	return env, nil
+}
+
+// bootstrapper returns the env's lazily built bootstrapper (reference envs
+// get the ReferenceBSGS variant).
+func (e *Env) bootstrapper() (*hefloat.Bootstrapper, error) {
+	if e.boot != nil {
+		return e.boot, nil
+	}
+	bt, err := hefloat.NewBootstrapper(e.Params, e.Encoder, e.Eval, bootOptions(e.ref))
+	if err != nil {
+		return nil, err
+	}
+	e.boot = bt
+	return bt, nil
+}
+
+// encryptInputs encrypts the program's inputs with a fresh deterministic
+// encryptor (seed 2). A fresh sampler per program run makes the ciphertexts
+// bit-identical across engines and across the main/reference environment
+// pair, which is what lets the harness compare outputs bitwise.
+func encryptInputs(e *Env, s *ProgramSpec) (map[string]*ckks.Ciphertext, error) {
+	encr := ckks.NewEncryptor(e.Params, e.PK, 2)
+	level := e.Params.MaxLevel()
+	if s.usesBootstrap() {
+		level = 0
+	}
+	out := make(map[string]*ckks.Ciphertext, len(s.Inputs))
+	for _, in := range s.Inputs {
+		vals, err := GenVector(in.Gen, s.Slots())
+		if err != nil {
+			return nil, err
+		}
+		pt, err := e.Encoder.EncodeAtLevel(vals, e.Params.DefaultScale(), level)
+		if err != nil {
+			return nil, err
+		}
+		out[in.Name] = encr.Encrypt(pt)
+	}
+	return out, nil
+}

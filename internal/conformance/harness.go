@@ -1,0 +1,329 @@
+package conformance
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"hydra/internal/ckks"
+	"hydra/internal/hw"
+	"hydra/internal/serve"
+)
+
+// Outcome is one cell of the conformance matrix.
+type Outcome struct {
+	Status string  `json:"status"` // "pass", "fail" or "skip"
+	MaxErr float64 `json:"max_err,omitempty"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// Matrix is the full program × engine result grid.
+type Matrix map[string]map[string]Outcome
+
+// Harness owns the program corpus and the lazily built environments. Each
+// parameter key gets two environment twins (main and reference-NTT) keyed
+// from identical deterministic seeds, plus one fleet server fronting the
+// functional cluster backend.
+type Harness struct {
+	Programs []*ProgramSpec
+
+	byKey   map[paramKey][]*ProgramSpec
+	envs    map[paramKey]*Env
+	refEnvs map[paramKey]*Env
+	servers map[paramKey]*serve.Server
+}
+
+// NewHarness loads and validates the corpus from dir.
+func NewHarness(dir string) (*Harness, error) {
+	programs, err := LoadPrograms(dir)
+	if err != nil {
+		return nil, err
+	}
+	h := &Harness{
+		Programs: programs,
+		byKey:    map[paramKey][]*ProgramSpec{},
+		envs:     map[paramKey]*Env{},
+		refEnvs:  map[paramKey]*Env{},
+		servers:  map[paramKey]*serve.Server{},
+	}
+	for _, s := range programs {
+		k := keyOf(s)
+		h.byKey[k] = append(h.byKey[k], s)
+	}
+	return h, nil
+}
+
+// Close shuts down the fleet servers.
+func (h *Harness) Close() {
+	for _, srv := range h.servers {
+		srv.Close()
+	}
+}
+
+// envFor returns the (lazily built) environment for the program's parameter
+// key. The environment carries the union of every rotation key any program
+// sharing the key may need on any engine, so programs can share the
+// expensive key generation.
+func (h *Harness) envFor(s *ProgramSpec, reference bool) (*Env, error) {
+	key := keyOf(s)
+	cache := h.envs
+	if reference {
+		cache = h.refEnvs
+	}
+	if env, ok := cache[key]; ok {
+		return env, nil
+	}
+	rotSet := map[int]bool{}
+	conjugate := false
+	for _, p := range h.byKey[key] {
+		rots, conj, err := rotationsFor(p)
+		if err != nil {
+			return nil, fmt.Errorf("conformance: rotations for %s: %w", p.Name, err)
+		}
+		for _, r := range rots {
+			rotSet[r] = true
+		}
+		conjugate = conjugate || conj
+	}
+	rots := make([]int, 0, len(rotSet))
+	for r := range rotSet {
+		rots = append(rots, r)
+	}
+	sort.Ints(rots)
+	env, err := buildEnv(key, rots, conjugate, reference)
+	if err != nil {
+		return nil, err
+	}
+	cache[key] = env
+	return env, nil
+}
+
+// serverFor returns the fleet server that fronts the environment's cluster
+// backend: four cards, two per server, so every 2-card conformance grant can
+// land intra- or cross-server depending on scheduler state.
+func (h *Harness) serverFor(env *Env) (*serve.Server, error) {
+	if srv, ok := h.servers[env.Key]; ok {
+		return srv, nil
+	}
+	srv, err := serve.New(serve.Config{
+		Fleet:          hw.Fleet{Cards: 4, CardsPerServer: 2},
+		Backend:        &serve.ClusterBackend{Params: env.Params, Eval: env.Eval},
+		DefaultTimeout: 10 * time.Minute,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h.servers[env.Key] = srv
+	return srv, nil
+}
+
+// RunOptions tune a matrix run.
+type RunOptions struct {
+	// Short skips programs marked Heavy (the CI -race leg runs this way).
+	Short bool
+	// Logf, when set, receives one line per (program, engine) cell.
+	Logf func(format string, args ...any)
+}
+
+// Run executes the whole corpus against all four engines and returns the
+// matrix. Engine failures (including panics from the evaluator layer) land in
+// the matrix as "fail" cells rather than aborting the run; only harness-level
+// problems (unloadable corpus, unbuildable environments) return an error.
+func (h *Harness) Run(opts RunOptions) (Matrix, error) {
+	m := Matrix{}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	for _, s := range h.Programs {
+		row := map[string]Outcome{}
+		m[s.Name] = row
+		if opts.Short && s.Heavy {
+			for _, e := range EngineNames {
+				row[e] = Outcome{Status: "skip", Detail: "heavy program skipped in short mode"}
+			}
+			logf("%-24s all engines: skip (heavy)", s.Name)
+			continue
+		}
+		expected, err := Interpret(s)
+		if err != nil {
+			return nil, fmt.Errorf("conformance: interpreting %s: %w", s.Name, err)
+		}
+
+		refEnv, err := h.envFor(s, true)
+		if err != nil {
+			return nil, err
+		}
+		env, err := h.envFor(s, false)
+		if err != nil {
+			return nil, err
+		}
+
+		refCt, refErr := runGuarded(func() (*ckks.Ciphertext, error) { return runHEFloat(refEnv, s, true) })
+		row["reference"] = checkCiphertext(refEnv, refCt, refErr, expected, s)
+
+		optCt, optErr := runGuarded(func() (*ckks.Ciphertext, error) { return runHEFloat(env, s, false) })
+		opt := checkCiphertext(env, optCt, optErr, expected, s)
+		if opt.Status == "pass" && row["reference"].Status == "pass" && s.BitExact {
+			if !optCt.Equal(refCt) {
+				opt = Outcome{Status: "fail", MaxErr: opt.MaxErr,
+					Detail: "optimized output not bit-identical to reference (program is pinned bit-exact)"}
+			} else {
+				opt.Detail = "bit-identical to reference"
+			}
+		}
+		row["optimized"] = opt
+
+		if reason, ok := s.Skip["cluster"]; ok {
+			row["cluster"] = Outcome{Status: "skip", Detail: reason}
+		} else {
+			srv, err := h.serverFor(env)
+			if err != nil {
+				return nil, err
+			}
+			clCt, clErr := runGuarded(func() (*ckks.Ciphertext, error) { return runCluster(env, srv, s) })
+			row["cluster"] = checkCiphertext(env, clCt, clErr, expected, s)
+		}
+
+		if reason, ok := s.Skip["sim"]; ok {
+			row["sim"] = Outcome{Status: "skip", Detail: reason}
+		} else {
+			rep, simErr := runGuardedSim(s)
+			if simErr != nil {
+				row["sim"] = Outcome{Status: "fail", Detail: simErr.Error()}
+			} else {
+				row["sim"] = Outcome{Status: "pass",
+					Detail: fmt.Sprintf("%d steps, %d tasks, %dB ISA, makespan %.3gs",
+						rep.Steps, rep.Tasks, rep.ISABytes, rep.Makespan)}
+			}
+		}
+		for _, e := range EngineNames {
+			o := row[e]
+			switch o.Status {
+			case "pass":
+				logf("%-24s %-10s pass  maxerr=%.3g  %s", s.Name, e, o.MaxErr, o.Detail)
+			case "skip":
+				logf("%-24s %-10s skip  (%s)", s.Name, e, o.Detail)
+			default:
+				logf("%-24s %-10s FAIL  %s", s.Name, e, o.Detail)
+			}
+		}
+	}
+	return m, nil
+}
+
+// runGuarded converts evaluator-layer panics (level underflow, missing keys)
+// into engine failures so one bad program cannot abort the matrix.
+func runGuarded(f func() (*ckks.Ciphertext, error)) (ct *ckks.Ciphertext, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ct, err = nil, fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return f()
+}
+
+func runGuardedSim(s *ProgramSpec) (rep *simReport, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rep, err = nil, fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return runSim(s)
+}
+
+// checkCiphertext decrypts ct in its environment and scores it against the
+// interpreter's expected slots under the program's precision budget.
+func checkCiphertext(env *Env, ct *ckks.Ciphertext, err error, expected []complex128, s *ProgramSpec) Outcome {
+	if err != nil {
+		return Outcome{Status: "fail", Detail: err.Error()}
+	}
+	if ct == nil {
+		return Outcome{Status: "fail", Detail: "engine returned no ciphertext"}
+	}
+	got := env.Encoder.Decode(env.Dec.Decrypt(ct))
+	maxErr := MaxSlotError(got, expected)
+	if maxErr > s.Budget {
+		return Outcome{Status: "fail", MaxErr: maxErr,
+			Detail: fmt.Sprintf("max slot error %.3g exceeds budget %.3g", maxErr, s.Budget)}
+	}
+	return Outcome{Status: "pass", MaxErr: maxErr}
+}
+
+// Statuses projects the matrix down to the status strings the golden file
+// records.
+func (m Matrix) Statuses() map[string]map[string]string {
+	out := make(map[string]map[string]string, len(m))
+	for prog, row := range m {
+		pr := make(map[string]string, len(row))
+		for eng, o := range row {
+			pr[eng] = o.Status
+		}
+		out[prog] = pr
+	}
+	return out
+}
+
+// Failures lists every failing (program, engine) cell, sorted.
+func (m Matrix) Failures() []string {
+	var out []string
+	for _, prog := range sortedKeys(m) {
+		for _, eng := range EngineNames {
+			if o, ok := m[prog][eng]; ok && o.Status == "fail" {
+				out = append(out, fmt.Sprintf("%s/%s: %s", prog, eng, o.Detail))
+			}
+		}
+	}
+	return out
+}
+
+// LoadGolden reads the checked-in golden status matrix.
+func LoadGolden(path string) (map[string]map[string]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var g map[string]map[string]string
+	if err := json.Unmarshal(data, &g); err != nil {
+		return nil, fmt.Errorf("conformance: golden matrix %s: %w", path, err)
+	}
+	return g, nil
+}
+
+// WriteGolden writes the matrix's statuses as the new golden file.
+func WriteGolden(path string, m Matrix) error {
+	data, err := json.MarshalIndent(m.Statuses(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// CompareGolden checks the run against the golden matrix: every golden
+// "pass" cell that this run executed must still pass (skips caused by short
+// mode are tolerated; regressions to "fail" are not), and every executed
+// program must appear in the golden file so the corpus cannot silently grow
+// without re-blessing. It returns the list of violations.
+func CompareGolden(m Matrix, golden map[string]map[string]string) []string {
+	var bad []string
+	for _, prog := range sortedKeys(m) {
+		row := m[prog]
+		grow, ok := golden[prog]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: not in golden matrix (run with -update to bless)", prog))
+			continue
+		}
+		for _, eng := range EngineNames {
+			o, ok := row[eng]
+			if !ok || o.Status == "skip" {
+				continue
+			}
+			if want := grow[eng]; want == "pass" && o.Status != "pass" {
+				bad = append(bad, fmt.Sprintf("%s/%s: golden says pass, got %s (%s)", prog, eng, o.Status, o.Detail))
+			}
+		}
+	}
+	return bad
+}

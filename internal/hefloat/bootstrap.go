@@ -40,6 +40,8 @@ type Bootstrapper struct {
 	K         int // bound on |I| coefficients
 	DAFIters  int
 	TaylorDeg int
+
+	referenceBSGS bool // route the DFT transforms through EvaluateBSGSReference
 }
 
 // BootstrapperOptions tune the bootstrapper.
@@ -47,6 +49,11 @@ type BootstrapperOptions struct {
 	K         int // bound on the ModRaise overflow (default 16; needs a sparse secret)
 	TaylorDeg int // degree of the small-angle sine polynomial (default 7)
 	BabySteps int // BSGS baby steps for the DFT transforms (default ~sqrt(slots))
+	// ReferenceBSGS evaluates the six DFT transforms through the
+	// single-hoisted EvaluateBSGSReference path instead of the plan-cached
+	// double-hoisted one, and skips plan precompilation. Differential-testing
+	// hook: the conformance harness's reference engine bootstraps through it.
+	ReferenceBSGS bool
 }
 
 // BootstrapRotations returns the rotation indices the bootstrapper's
@@ -94,7 +101,8 @@ func NewBootstrapper(params *ckks.Parameters, enc *ckks.Encoder, eval *ckks.Eval
 	bt := &Bootstrapper{
 		params: params, enc: enc, eval: eval,
 		K: opts.K, TaylorDeg: opts.TaylorDeg,
-		bs: opts.babySteps(params.Slots()),
+		bs:            opts.babySteps(params.Slots()),
+		referenceBSGS: opts.ReferenceBSGS,
 	}
 	// Double-angle iterations: bring 2π(K+1) under a comfortable small angle.
 	target := 0.5
@@ -149,7 +157,11 @@ func NewBootstrapper(params *ckks.Parameters, enc *ckks.Encoder, eval *ckks.Eval
 	// first Bootstrap call encodes nothing for C2S. The SlotToCoeff plans
 	// compile on first use (their input level depends on the sine-evaluation
 	// depth) and are cached thereafter, so steady-state Bootstrap calls
-	// encode no diagonal at all.
+	// encode no diagonal at all. The reference path encodes per call by
+	// design, so it has nothing to precompile.
+	if bt.referenceBSGS {
+		return bt, nil
+	}
 	top := len(params.Q()) - 1
 	compile := func(lt *LinearTransform) func() error {
 		return func() (err error) {
@@ -161,6 +173,40 @@ func NewBootstrapper(params *ckks.Parameters, enc *ckks.Encoder, eval *ckks.Eval
 		return nil, err
 	}
 	return bt, nil
+}
+
+// applyDFT routes one of the six bootstrap transforms through the configured
+// BSGS path (plan-cached double-hoisted by default, single-hoisted reference
+// when the bootstrapper was built with ReferenceBSGS).
+func (bt *Bootstrapper) applyDFT(lt *LinearTransform, ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+	if bt.referenceBSGS {
+		return lt.EvaluateBSGSReference(bt.eval, bt.enc, ct, bt.bs)
+	}
+	return lt.EvaluateBSGS(bt.eval, bt.enc, ct, bt.bs)
+}
+
+// CoeffToSlotTransforms exposes the four CoeffToSlot transforms (with the
+// Δ/q0 factor folded in), in the pairing Bootstrap uses: u0 = P·z + Q·conj(z),
+// u1 = R·z + S·conj(z). Exported so external engines (the conformance
+// harness's cluster lowering) can re-emit the same pipeline.
+func (bt *Bootstrapper) CoeffToSlotTransforms() (p, q, r, s *LinearTransform) {
+	return bt.ltP, bt.ltQ, bt.ltR, bt.ltS
+}
+
+// SlotToCoeffTransforms exposes the two SlotToCoeff transforms (with the
+// q0/(2πΔ) factor folded in): out = A·w0 + B·w1.
+func (bt *Bootstrapper) SlotToCoeffTransforms() (a, b *LinearTransform) {
+	return bt.ltA, bt.ltB
+}
+
+// BabySteps reports the BSGS baby-step count the six transforms run with.
+func (bt *Bootstrapper) BabySteps() int { return bt.bs }
+
+// SineSchedule reports the sine-evaluation schedule: the Taylor degree of the
+// small-angle pair and the number of double-angle iterations. The pre-scale
+// angle is θ = 2π/2^dafIters.
+func (bt *Bootstrapper) SineSchedule() (taylorDeg, dafIters int) {
+	return bt.TaylorDeg, bt.DAFIters
 }
 
 // probeEmbedding recovers the matrices A, B with slots = A·(c0/Δ) + B·(c1/Δ)
@@ -270,10 +316,10 @@ func (bt *Bootstrapper) Bootstrap(ct *ckks.Ciphertext) (*ckks.Ciphertext, error)
 	conj := eval.Conjugate(raised)
 	var pz, qz, rz, sz *ckks.Ciphertext
 	err := runConcurrent(
-		func() (err error) { pz, err = bt.ltP.EvaluateBSGS(eval, bt.enc, raised, bt.bs); return },
-		func() (err error) { qz, err = bt.ltQ.EvaluateBSGS(eval, bt.enc, conj, bt.bs); return },
-		func() (err error) { rz, err = bt.ltR.EvaluateBSGS(eval, bt.enc, raised, bt.bs); return },
-		func() (err error) { sz, err = bt.ltS.EvaluateBSGS(eval, bt.enc, conj, bt.bs); return },
+		func() (err error) { pz, err = bt.applyDFT(bt.ltP, raised); return },
+		func() (err error) { qz, err = bt.applyDFT(bt.ltQ, conj); return },
+		func() (err error) { rz, err = bt.applyDFT(bt.ltR, raised); return },
+		func() (err error) { sz, err = bt.applyDFT(bt.ltS, conj); return },
 	)
 	if err != nil {
 		return nil, err
@@ -294,8 +340,8 @@ func (bt *Bootstrapper) Bootstrap(ct *ckks.Ciphertext) (*ckks.Ciphertext, error)
 	// SlotToCoeff with the q0/(2π) correction folded in.
 	var z0, z1 *ckks.Ciphertext
 	err = runConcurrent(
-		func() (err error) { z0, err = bt.ltA.EvaluateBSGS(eval, bt.enc, w0, bt.bs); return },
-		func() (err error) { z1, err = bt.ltB.EvaluateBSGS(eval, bt.enc, w1, bt.bs); return },
+		func() (err error) { z0, err = bt.applyDFT(bt.ltA, w0); return },
+		func() (err error) { z1, err = bt.applyDFT(bt.ltB, w1); return },
 	)
 	if err != nil {
 		return nil, err

@@ -127,9 +127,12 @@ func (lt *LinearTransform) RotationsBSGS(bs int) []int {
 	return rots
 }
 
-// shiftedDiag returns diagonal d pre-rotated right by g so the single
-// giant-step rotation at the end of BSGS lands it correctly.
-func (lt *LinearTransform) shiftedDiag(d, g int) []complex128 {
+// ShiftedDiag returns diagonal d pre-rotated right by g so the single
+// giant-step rotation at the end of BSGS lands it correctly. Exported for
+// engines that re-derive the BSGS grouping outside this package (the
+// conformance harness's cluster lowering encodes the same pre-shifted
+// diagonals as per-card plaintext operands).
+func (lt *LinearTransform) ShiftedDiag(d, g int) []complex128 {
 	diag := lt.Diags[d]
 	if g == 0 {
 		return diag
@@ -275,7 +278,7 @@ func (lt *LinearTransform) Compile(enc *ckks.Encoder, bs, level int, scale float
 			grp.js[ti] = d - g
 			gi, ti, d, g := gi, ti, d, g
 			fns = append(fns, func() (err error) {
-				p.groups[gi].pts[ti], err = enc.EncodeExtAtLevel(lt.shiftedDiag(d, g), scale, level)
+				p.groups[gi].pts[ti], err = enc.EncodeExtAtLevel(lt.ShiftedDiag(d, g), scale, level)
 				return err
 			})
 		}
@@ -423,7 +426,7 @@ func (lt *LinearTransform) EvaluateBSGSReference(eval *ckks.Evaluator, enc *ckks
 			// inner = Σ_j diag_{g+j} rotated by -g, times baby_j.
 			var inner *ckks.Ciphertext
 			for _, d := range ds {
-				pt, err := enc.EncodeAtLevel(lt.shiftedDiag(d, g), eval.Params().DefaultScale(), ct.Level())
+				pt, err := enc.EncodeAtLevel(lt.ShiftedDiag(d, g), eval.Params().DefaultScale(), ct.Level())
 				if err != nil {
 					return err
 				}

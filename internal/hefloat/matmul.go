@@ -129,10 +129,12 @@ func CCMMRotations(k int) []int {
 	return rots
 }
 
-// ccmmSigma builds the σ pre-transform of the E2DM-style matrix product:
+// CCMMSigma builds the σ pre-transform of the E2DM-style matrix product:
 // σ(A)[r][c] = A[r][(r+c) mod k], as a dense permutation over the
-// column-major packing.
-func ccmmSigma(k int) [][]complex128 {
+// column-major packing. Exported so reference implementations and lowerings
+// outside this package (the conformance harness) evaluate the identical
+// permutation.
+func CCMMSigma(k int) [][]complex128 {
 	n := k * k
 	m := make([][]complex128, n)
 	for i := range m {
@@ -148,8 +150,8 @@ func ccmmSigma(k int) [][]complex128 {
 	return m
 }
 
-// ccmmTau builds the τ pre-transform: τ(B)[r][c] = B[(r+c) mod k][c].
-func ccmmTau(k int) [][]complex128 {
+// CCMMTau builds the τ pre-transform: τ(B)[r][c] = B[(r+c) mod k][c].
+func CCMMTau(k int) [][]complex128 {
 	n := k * k
 	m := make([][]complex128, n)
 	for i := range m {
@@ -163,6 +165,33 @@ func ccmmTau(k int) [][]complex128 {
 		}
 	}
 	return m
+}
+
+// CCMMMasks returns the ψ_d selection mask vectors of CCMM iteration d over
+// the column-major k×k packing: main selects the rows r < k-d that come from
+// rotation d, wrap the wrap-around rows from rotation d-k. For d == 0 main is
+// the all-ones mask and wrap is nil. Exported alongside CCMMSigma/CCMMTau so
+// external engines can replay the identical iteration structure.
+func CCMMMasks(k, d int) (main, wrap []complex128) {
+	slots := k * k
+	main = make([]complex128, slots)
+	if d == 0 {
+		for i := range main {
+			main[i] = 1
+		}
+		return main, nil
+	}
+	wrap = make([]complex128, slots)
+	for c := 0; c < k; c++ {
+		for r := 0; r < k; r++ {
+			if r < k-d {
+				main[c*k+r] = 1
+			} else {
+				wrap[c*k+r] = 1
+			}
+		}
+	}
+	return main, wrap
 }
 
 // ccmmLTs caches the σ/τ pre-transforms per matrix dimension: they are pure
@@ -181,9 +210,9 @@ func ccmmTransforms(k int) (sigma, tau *LinearTransform, err error) {
 	v, _ := ccmmLTs.LoadOrStore(k, &ccmmPair{})
 	pair := v.(*ccmmPair)
 	pair.once.Do(func() {
-		pair.sigma, pair.err = NewLinearTransform(ccmmSigma(k))
+		pair.sigma, pair.err = NewLinearTransform(CCMMSigma(k))
 		if pair.err == nil {
-			pair.tau, pair.err = NewLinearTransform(ccmmTau(k))
+			pair.tau, pair.err = NewLinearTransform(CCMMTau(k))
 		}
 	})
 	return pair.sigma, pair.tau, pair.err
@@ -206,30 +235,11 @@ func ccmmMaskPts(enc *ckks.Encoder, k, d, level int, scale float64) (ptMain, ptW
 		pts := v.([2]*ckks.Plaintext)
 		return pts[0], pts[1], nil
 	}
-	slots := k * k
-	if d == 0 {
-		one := make([]complex128, slots)
-		for i := range one {
-			one[i] = 1
-		}
-		if ptMain, err = enc.EncodeAtLevel(one, scale, level); err != nil {
-			return nil, nil, err
-		}
-	} else {
-		maskMain := make([]complex128, slots)
-		maskWrap := make([]complex128, slots)
-		for c := 0; c < k; c++ {
-			for r := 0; r < k; r++ {
-				if r < k-d {
-					maskMain[c*k+r] = 1
-				} else {
-					maskWrap[c*k+r] = 1
-				}
-			}
-		}
-		if ptMain, err = enc.EncodeAtLevel(maskMain, scale, level); err != nil {
-			return nil, nil, err
-		}
+	maskMain, maskWrap := CCMMMasks(k, d)
+	if ptMain, err = enc.EncodeAtLevel(maskMain, scale, level); err != nil {
+		return nil, nil, err
+	}
+	if maskWrap != nil {
 		if ptWrap, err = enc.EncodeAtLevel(maskWrap, scale, level); err != nil {
 			return nil, nil, err
 		}

@@ -153,8 +153,8 @@ func TestCCMMThenPCMMChain(t *testing.T) {
 
 func TestSigmaTauPermutations(t *testing.T) {
 	k := 4
-	sig := ccmmSigma(k)
-	tau := ccmmTau(k)
+	sig := CCMMSigma(k)
+	tau := CCMMTau(k)
 	// Each row of a permutation matrix has exactly one 1.
 	for _, m := range [][][]complex128{sig, tau} {
 		for r := range m {

@@ -62,6 +62,12 @@ type NTTTable struct {
 	// (psiInvMerged[1]) pre-multiplied by 1/N.
 	invLastW      uint64
 	invLastWShoup uint64
+
+	// reference reroutes Forward/Inverse through the radix-2 five-pass
+	// oracles, so a whole execution (including the extended-basis encode and
+	// hoisting paths that call the tables directly) runs on the reference
+	// kernels. Differential-testing hook; see SetReference.
+	reference bool
 }
 
 // NewNTTTable builds the tables for length n (a power of two ≥ 2) and prime
@@ -159,11 +165,34 @@ func bitReversePerm(n int) []int {
 	return p
 }
 
+// SetReference selects which kernel family Forward/Inverse dispatch to:
+// false (the default) is the merged-twist lazy radix-4 kernel, true is the
+// radix-2 five-pass reference pipeline. The two families are bit-identical
+// (pinned by the differential tests), so flipping the switch must never
+// change any result bit — the conformance harness runs whole executions on
+// each side to prove exactly that. Set it before handing the table to
+// concurrent users; it is not synchronized against in-flight transforms.
+func (t *NTTTable) SetReference(on bool) { t.reference = on }
+
 // Forward computes the in-place negacyclic NTT of a with the merged-twist
 // lazy radix-4 kernel. Input residues may be lazy (any values < 4q); the
 // output is canonical and bit-identical to ForwardReference on canonical
 // input.
 func (t *NTTTable) Forward(a []uint64) {
+	if t.reference {
+		// The reference pipeline reduces fully at every stage and expects
+		// canonical input; lazy residues from the hoisting paths are
+		// canonicalized first (at most three conditional subtractions).
+		q := t.Mod.Q
+		for i, v := range a {
+			for v >= q {
+				v -= q
+			}
+			a[i] = v
+		}
+		t.ForwardReference(a)
+		return
+	}
 	t.forwardMergedLazy(a)
 	t.finishForward(a)
 }
@@ -173,6 +202,10 @@ func (t *NTTTable) Forward(a []uint64) {
 // cyclicInverseRadix2 oracle lacked). Output is canonical and bit-identical
 // to InverseReference.
 func (t *NTTTable) Inverse(a []uint64) {
+	if t.reference {
+		t.InverseReference(a)
+		return
+	}
 	t.bitReverse(a)
 	t.inverseMergedLazy(a)
 }

@@ -30,8 +30,25 @@ echo "== go test -race -short (plan cache + double-hoisted BSGS)"
 # convergence tests that add nothing to the race coverage.
 go test -race -short "$@" ./internal/hefloat/
 
+echo "== go test -race -short (conformance reduced matrix)"
+# The cross-engine matrix minus the heavy bootstrap program: every remaining
+# program still runs on all four engines, with the cluster engine exercising
+# the goroutine-card runtime under the race detector.
+go test -race -short "$@" ./internal/conformance/
+
 echo "== go test (full tier-1 suite)"
 go test ./...
+
+echo "== conformance matrix (full corpus x 4 engines, golden-checked)"
+# Fails on any cell outside its program's precision budget and on any
+# regression against testdata/golden_matrix.json.
+go test -count=1 -run TestConformanceMatrix ./internal/conformance/
+
+echo "== fuzz smoke (seed corpora + 10s per fuzzer)"
+# Short differential-fuzz passes seeded from testdata/fuzz: the modular
+# arithmetic kernels against math/big, and the ISA decoder against crashes.
+go test -fuzz=FuzzModularOps -fuzztime=10s -run '^$' ./internal/ring/
+go test -fuzz=FuzzUnmarshal -fuzztime=10s -run '^$' ./internal/isa/
 
 echo "== bench harness smoke (1 iteration per benchmark)"
 # Write to a scratch directory: the smoke run validates the harness and the
