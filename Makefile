@@ -26,9 +26,12 @@ lint:
 
 # Race-detector run of the limb pool, the evaluator that fans work onto it,
 # the goroutine-card runtimes that nest it (includes the differential
-# parallel-vs-serial harness), and the multi-tenant serving layer.
+# parallel-vs-serial harness), and the multi-tenant serving layer. Matches
+# the ci.sh race coverage: hefloat and the conformance matrix run -short to
+# skip the slow bootstrap-convergence tests that add no race coverage.
 race:
 	$(GO) test -race ./internal/ring/... ./internal/ckks/... ./internal/runtime/... ./internal/cluster/... ./internal/serve/...
+	$(GO) test -race -short ./internal/hefloat/ ./internal/conformance/
 
 ci:
 	sh scripts/ci.sh

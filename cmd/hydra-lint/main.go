@@ -20,6 +20,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +40,7 @@ func run() int {
 		only       = flag.String("checks", "", "comma-separated list of checks to run (default: all)")
 		disable    = flag.String("disable", "", "comma-separated list of checks to skip")
 		suppressed = flag.Bool("suppressed", false, "also print suppressed findings with their reasons")
+		jsonOut    = flag.Bool("json", false, "emit one JSON object per finding (suppressed ones included) instead of text")
 	)
 	flag.Parse()
 
@@ -78,9 +80,20 @@ func run() int {
 	}
 
 	diags := lint.Run(mod, checks)
+	enc := json.NewEncoder(os.Stdout)
 	bad := 0
 	for _, d := range diags {
 		if !match(d.Pos.Filename) {
+			continue
+		}
+		if *jsonOut {
+			if err := enc.Encode(jsonFinding(root, d)); err != nil {
+				fmt.Fprintln(os.Stderr, "hydra-lint:", err)
+				return 2
+			}
+			if !d.Suppressed {
+				bad++
+			}
 			continue
 		}
 		if d.Suppressed {
@@ -97,6 +110,29 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// finding is the one-object-per-line JSON shape of -json mode.
+type finding struct {
+	Check      string `json:"check"`
+	Pos        string `json:"pos"` // module-relative file:line:col
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+	Reason     string `json:"reason,omitempty"` // the //lint:allow reason when suppressed
+}
+
+func jsonFinding(root string, d lint.Diagnostic) finding {
+	pos := d.Pos
+	if r, err := filepath.Rel(root, pos.Filename); err == nil {
+		pos.Filename = r
+	}
+	return finding{
+		Check:      d.Check,
+		Pos:        pos.String(),
+		Message:    d.Message,
+		Suppressed: d.Suppressed,
+		Reason:     d.Reason,
+	}
 }
 
 func rel(root string, d lint.Diagnostic) string {

@@ -1,0 +1,137 @@
+package lint
+
+// Call-graph layer of the SSA-lite engine: a module-wide index from
+// types.Func objects to their declarations, static callee resolution, and
+// the two graph queries the interprocedural checks need — bottom-up summary
+// fixpoints (lazydomain) and transitive reachability from go statements
+// (ctxleak). Indirect calls (function values, interface methods) resolve to
+// nothing and are treated conservatively by each client.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// funcIndex maps every function and method declared in the module to its
+// declaration, and every function literal to its enclosing package.
+type funcIndex struct {
+	mod   *Module
+	decls map[*types.Func]*ast.FuncDecl
+	pkgOf map[*types.Func]*Package
+}
+
+// buildFuncIndex indexes every function declaration of the module.
+func buildFuncIndex(mod *Module) *funcIndex {
+	idx := &funcIndex{
+		mod:   mod,
+		decls: map[*types.Func]*ast.FuncDecl{},
+		pkgOf: map[*types.Func]*Package{},
+	}
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				idx.decls[fn] = fd
+				idx.pkgOf[fn] = pkg
+			}
+		}
+	}
+	return idx
+}
+
+// callee resolves a call expression to the static types.Func it invokes
+// (package function, method, or conversion-free selector call). Returns nil
+// for indirect calls through function values or type conversions.
+func callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// goRoots collects the launch sites of every goroutine in a package: the
+// function literals spawned directly (`go func(){...}()`) and the declared
+// functions named by go statements (`go s.runJob(...)`).
+type goRoots struct {
+	lits  []*ast.FuncLit
+	funcs []*types.Func
+}
+
+func collectGoRoots(pkg *Package) goRoots {
+	var roots goRoots
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			switch fun := ast.Unparen(g.Call.Fun).(type) {
+			case *ast.FuncLit:
+				roots.lits = append(roots.lits, fun)
+			default:
+				if fn := callee(pkg.Info, g.Call); fn != nil {
+					roots.funcs = append(roots.funcs, fn)
+				}
+			}
+			return true
+		})
+	}
+	return roots
+}
+
+// goReachable computes the set of declared functions transitively reachable
+// from the package's goroutine launch sites through static calls (function
+// literals along the way are traversed in place). The traversal follows
+// calls into other packages of the module but not into the standard library.
+func goReachable(idx *funcIndex, pkg *Package) map[*types.Func]bool {
+	reached := map[*types.Func]bool{}
+	var visitBody func(info *types.Info, body ast.Node)
+	var visitFunc func(fn *types.Func)
+
+	visitBody = func(info *types.Info, body ast.Node) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := callee(info, call); fn != nil {
+				visitFunc(fn)
+			}
+			return true
+		})
+	}
+	visitFunc = func(fn *types.Func) {
+		if reached[fn] {
+			return
+		}
+		decl, ok := idx.decls[fn]
+		if !ok || decl.Body == nil {
+			return // out of module (stdlib) or bodyless
+		}
+		reached[fn] = true
+		visitBody(idx.pkgOf[fn].Info, decl.Body)
+	}
+
+	roots := collectGoRoots(pkg)
+	for _, fn := range roots.funcs {
+		visitFunc(fn)
+	}
+	for _, lit := range roots.lits {
+		visitBody(pkg.Info, lit.Body)
+	}
+	return reached
+}

@@ -1,0 +1,388 @@
+package lint
+
+// Control-flow graph construction: the base layer of the SSA-lite dataflow
+// engine. A CFG is built per function body; basic blocks hold the statements
+// (and branch-condition expressions) in execution order, and edges follow
+// Go's structured control flow — if/else, for/range, switch, type switch,
+// select, labeled break/continue, goto, return. The graph is deliberately
+// lightweight: no phi nodes, no value numbering. Checks recover
+// flow-sensitivity by running a forward fixpoint over the blocks (see
+// dataflow.go) with per-variable abstract values joined at merge points.
+//
+// Modeling choices, in the direction of soundness for the checks built on
+// top:
+//
+//   - Branch conditions appear as ordinary nodes at the end of their block,
+//     on both outgoing paths (no path-sensitivity).
+//   - A select statement branches to one block per comm clause; the comm
+//     statement itself is the first node of its clause block.
+//   - defer is kept in place as a node (its call runs late, but its
+//     arguments — what the checks inspect — are evaluated at the defer
+//     site). panic/Fatal-style calls do not terminate blocks.
+//   - goto resolves to its label when the label exists; an unresolvable
+//     label (malformed input) falls through.
+
+import (
+	"go/ast"
+)
+
+// Block is one basic block: a maximal straight-line sequence of nodes.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block // the single synthetic exit; returns edge here
+	Blocks []*Block
+}
+
+// cfgBuilder carries the state of one graph construction.
+type cfgBuilder struct {
+	g *CFG
+	// cur is the block under construction; nil after a terminating
+	// statement (return, goto, break) until a new block starts.
+	cur *Block
+	// break/continue targets, innermost last. label is "" for the plain
+	// enclosing loop/switch.
+	breaks    []branchTarget
+	continues []branchTarget
+	labels    map[string]*Block // goto targets
+	gotos     []pendingGoto
+	// labeled is the name of the label attached to the statement about to
+	// be visited (set by the LabeledStmt case, consumed by pendingLabel).
+	labeled string
+}
+
+type branchTarget struct {
+	label string
+	block *Block
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// BuildCFG constructs the control-flow graph of a function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{g: &CFG{}, labels: map[string]*Block{}}
+	b.g.Exit = b.newBlock() // allocated first so Exit is stable
+	b.g.Entry = b.newBlock()
+	b.cur = b.g.Entry
+	b.stmtList(body.List)
+	b.edgeTo(b.g.Exit) // fall off the end
+	for _, pg := range b.gotos {
+		if target, ok := b.labels[pg.label]; ok {
+			link(pg.from, target)
+		}
+	}
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func link(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// edgeTo links the current block (if live) to target and kills the current
+// block.
+func (b *cfgBuilder) edgeTo(target *Block) {
+	if b.cur != nil {
+		link(b.cur, target)
+		b.cur = nil
+	}
+}
+
+// startBlock begins a new current block, linking from the previous one when
+// it is still live.
+func (b *cfgBuilder) startBlock() *Block {
+	blk := b.newBlock()
+	if b.cur != nil {
+		link(b.cur, blk)
+	}
+	b.cur = blk
+	return blk
+}
+
+// add appends a node to the current block, opening one if control just
+// merged or terminated (unreachable code still gets a block so its nodes are
+// visited by the final reporting pass).
+func (b *cfgBuilder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		condBlk := b.cur
+		if condBlk == nil {
+			condBlk = b.startBlock()
+		}
+		// then branch
+		b.cur = b.newBlock()
+		link(condBlk, b.cur)
+		b.stmt(s.Body)
+		thenEnd := b.cur
+		// else branch
+		var elseEnd *Block
+		if s.Else != nil {
+			b.cur = b.newBlock()
+			link(condBlk, b.cur)
+			b.stmt(s.Else)
+			elseEnd = b.cur
+		}
+		// merge
+		merge := b.newBlock()
+		if thenEnd != nil {
+			link(thenEnd, merge)
+		}
+		if s.Else == nil {
+			link(condBlk, merge)
+		} else if elseEnd != nil {
+			link(elseEnd, merge)
+		}
+		b.cur = merge
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.startBlock()
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		after := b.newBlock()
+		if s.Cond != nil {
+			link(head, after) // condition false
+		}
+		b.pushLoop("", after, head)
+		body := b.newBlock()
+		link(head, body)
+		b.cur = body
+		b.stmt(s.Body)
+		if s.Post != nil {
+			b.stmt(s.Post)
+		}
+		b.edgeTo(head) // back edge
+		b.popLoop()
+		b.cur = after
+
+	case *ast.RangeStmt:
+		b.add(s.X)
+		head := b.startBlock()
+		if s.Key != nil {
+			b.add(s.Key)
+		}
+		if s.Value != nil {
+			b.add(s.Value)
+		}
+		after := b.newBlock()
+		link(head, after) // range exhausted
+		b.pushLoop("", after, head)
+		body := b.newBlock()
+		link(head, body)
+		b.cur = body
+		b.stmt(s.Body)
+		b.edgeTo(head)
+		b.popLoop()
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseDispatch("", s.Body.List, hasDefaultClause(s.Body.List))
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.caseDispatch("", s.Body.List, hasDefaultClause(s.Body.List))
+
+	case *ast.SelectStmt:
+		head := b.cur
+		if head == nil {
+			head = b.startBlock()
+		}
+		after := b.newBlock()
+		b.breaks = append(b.breaks, branchTarget{b.pendingLabel(), after})
+		anyClause := false
+		for _, cl := range s.Body.List {
+			comm, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			anyClause = true
+			b.cur = b.newBlock()
+			link(head, b.cur)
+			if comm.Comm != nil {
+				b.stmt(comm.Comm)
+			}
+			b.stmtList(comm.Body)
+			b.edgeTo(after)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		if !anyClause {
+			link(head, after)
+		}
+		b.cur = after
+
+	case *ast.LabeledStmt:
+		// Record the label for gotos; loops/switches read their own label
+		// via labelOf on the parent, so just open a fresh block here.
+		blk := b.startBlock()
+		b.labels[s.Label.Name] = blk
+		b.labeled = s.Label.Name
+		b.stmt(s.Stmt)
+		b.labeled = ""
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok.String() {
+		case "break":
+			if t := b.findTarget(b.breaks, s.Label); t != nil {
+				b.edgeTo(t)
+			} else {
+				b.cur = nil
+			}
+		case "continue":
+			if t := b.findTarget(b.continues, s.Label); t != nil {
+				b.edgeTo(t)
+			} else {
+				b.cur = nil
+			}
+		case "goto":
+			if b.cur != nil && s.Label != nil {
+				b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+			}
+			b.cur = nil
+		case "fallthrough":
+			// handled structurally by caseDispatch (approximated as a jump
+			// to the merge; the next clause is reachable from the dispatch
+			// head anyway, so facts still merge there).
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edgeTo(b.g.Exit)
+
+	default:
+		// Assignments, declarations, expression statements, sends, defers,
+		// go statements, incdec, empty: straight-line nodes.
+		b.add(s)
+	}
+}
+
+// The builder tracks the pending label out-of-band: LabeledStmt sets
+// b.labeled before visiting its statement, and the loop/switch/select cases
+// consume it through pendingLabel.
+
+func (b *cfgBuilder) pendingLabel() string {
+	l := b.labeled
+	b.labeled = ""
+	return l
+}
+
+func (b *cfgBuilder) pushLoop(label string, breakTo, continueTo *Block) {
+	if label == "" {
+		label = b.pendingLabel()
+	}
+	b.breaks = append(b.breaks, branchTarget{label, breakTo})
+	b.continues = append(b.continues, branchTarget{label, continueTo})
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+// findTarget resolves a break/continue label against a target stack.
+func (b *cfgBuilder) findTarget(stack []branchTarget, label *ast.Ident) *Block {
+	if len(stack) == 0 {
+		return nil
+	}
+	if label == nil {
+		return stack[len(stack)-1].block
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].label == label.Name {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+// caseDispatch builds the shared switch/type-switch shape: a dispatch block
+// fanning out to one block per clause, all merging below.
+func (b *cfgBuilder) caseDispatch(label string, clauses []ast.Stmt, hasDefault bool) {
+	head := b.cur
+	if head == nil {
+		head = b.startBlock()
+	}
+	after := b.newBlock()
+	if label == "" {
+		label = b.pendingLabel()
+	}
+	b.breaks = append(b.breaks, branchTarget{label, after})
+	for _, cl := range clauses {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		b.cur = b.newBlock()
+		link(head, b.cur)
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		b.stmtList(cc.Body)
+		b.edgeTo(after)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	if !hasDefault {
+		link(head, after) // no clause matched
+	}
+	b.cur = after
+}
+
+func hasDefaultClause(clauses []ast.Stmt) bool {
+	for _, cl := range clauses {
+		if cc, ok := cl.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,285 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockFact is the abstract state of one mutex inside one method, tracked on
+// the SSA-lite engine. The zero value (lkUnknown) means the lock has not
+// been touched on this path; joining Free against Held yields Conflict,
+// which the reporter treats as not-held so that half-locked paths never
+// suppress a finding they should raise, and never raise one the other path
+// already justifies.
+type lockFact int8
+
+const (
+	lkUnknown lockFact = iota
+	lkFree
+	lkHeld
+	lkConflict
+)
+
+func joinLock(a, b lockFact) lockFact {
+	switch {
+	case a == lkUnknown:
+		return b
+	case b == lkUnknown:
+		return a
+	case a == b:
+		return a
+	default:
+		return lkConflict
+	}
+}
+
+// LockHeld infers the guard discipline of struct fields statistically: a
+// field of a mutex-carrying struct that is accessed under the mutex at
+// most sites is assumed to be guarded by it, and the minority of unguarded
+// accesses are flagged. Methods whose name ends in "Locked" are assumed to
+// be called with the mutex held (the repo's dispatchLocked convention).
+// Function literals inside a method run on their own goroutine's schedule,
+// so they start from an unlocked state regardless of the launch site.
+var LockHeld = &Check{
+	Name: "lockheld",
+	Doc:  "struct field accessed without the mutex that guards it at most other sites",
+	Run:  runLockHeld,
+}
+
+// lockAccess is one field access observed during replay.
+type lockAccess struct {
+	field *types.Var
+	pos   token.Pos
+	held  bool
+}
+
+func runLockHeld(pass *Pass) {
+	info := pass.Pkg.Info
+
+	// Structs declared in this package that embed a sync.Mutex/RWMutex
+	// field, keyed by the struct's named type.
+	guards := map[*types.Named]*types.Var{}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			obj, ok := info.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			named, ok := obj.Type().(*types.Named)
+			if !ok {
+				return true
+			}
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if isSyncMutex(st.Field(i).Type()) {
+					guards[named] = st.Field(i)
+					break // first mutex field is the guard
+				}
+			}
+			return true
+		})
+	}
+	if len(guards) == 0 {
+		return
+	}
+
+	// Analyze every method of every guarded struct, collecting accesses.
+	var accesses []lockAccess
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			names := fd.Recv.List[0].Names
+			if len(names) == 0 || names[0].Name == "_" {
+				continue
+			}
+			recv, ok := info.Defs[names[0]].(*types.Var)
+			if !ok {
+				continue
+			}
+			named := namedOf(recv.Type())
+			mu, ok := guards[named]
+			if !ok {
+				continue
+			}
+			run := &lockRun{info: info, recv: recv, mu: mu, sink: &accesses}
+			entry := state[lockFact]{}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				entry[mu] = lkHeld
+			}
+			run.analyze(fd.Body, entry)
+		}
+	}
+
+	// Aggregate: a field is considered mutex-guarded when at least two
+	// accesses hold the lock and the held accesses outnumber the unheld
+	// ones two-to-one. Report the minority.
+	type stat struct {
+		held, free int
+		freeAt     []token.Pos
+	}
+	stats := map[*types.Var]*stat{}
+	for _, a := range accesses {
+		st := stats[a.field]
+		if st == nil {
+			st = &stat{}
+			stats[a.field] = st
+		}
+		if a.held {
+			st.held++
+		} else {
+			st.free++
+			st.freeAt = append(st.freeAt, a.pos)
+		}
+	}
+	fields := make([]*types.Var, 0, len(stats))
+	for f := range stats {
+		fields = append(fields, f)
+	}
+	sort.Slice(fields, func(i, j int) bool { return fields[i].Pos() < fields[j].Pos() })
+	for _, f := range fields {
+		st := stats[f]
+		if st.free == 0 || st.held < 2 || st.held < 2*st.free {
+			continue
+		}
+		for _, pos := range st.freeAt {
+			pass.Reportf(pos,
+				"field %s is accessed with the mutex held at %d of %d sites, but not here: lock it, rename the method *Locked, or document why this access is safe",
+				f.Name(), st.held, st.held+st.free)
+		}
+	}
+}
+
+// lockRun tracks one method's lock state and records field accesses during
+// the replay pass.
+type lockRun struct {
+	info *types.Info
+	recv *types.Var
+	mu   *types.Var
+	sink *[]lockAccess
+}
+
+func (r *lockRun) analyze(body *ast.BlockStmt, entry state[lockFact]) {
+	f := &flow[lockFact]{
+		cfg:      BuildCFG(body),
+		joinFact: joinLock,
+		entry:    entry,
+		transfer: r.node,
+	}
+	f.solve()
+}
+
+func (r *lockRun) node(n ast.Node, s state[lockFact], rep bool) {
+	// Defer of Unlock keeps the lock held until return; defer of anything
+	// else is still walked for field accesses.
+	if d, ok := n.(*ast.DeferStmt); ok {
+		if r.lockOp(d.Call) != 0 {
+			return
+		}
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.CallExpr:
+			switch r.lockOp(c) {
+			case 1:
+				s[r.mu] = lkHeld
+				return false
+			case -1:
+				s[r.mu] = lkFree
+				return false
+			}
+		case *ast.FuncLit:
+			// Closures run later (often on another goroutine): fresh state.
+			sub := &lockRun{info: r.info, recv: r.recv, mu: r.mu}
+			if rep {
+				sub.sink = r.sink
+			}
+			sub.analyze(c.Body, nil)
+			return false
+		case *ast.SelectorExpr:
+			if rep && r.sink != nil {
+				if fld := r.recvField(c); fld != nil && fld != r.mu {
+					*r.sink = append(*r.sink, lockAccess{
+						field: fld,
+						pos:   c.Sel.Pos(),
+						held:  s[r.mu] == lkHeld,
+					})
+				}
+			}
+		}
+		return true
+	})
+}
+
+// lockOp classifies a call: +1 for recv.mu.Lock/RLock, -1 for Unlock/RUnlock,
+// 0 otherwise.
+func (r *lockRun) lockOp(call *ast.CallExpr) int {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return 0
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return 0
+	}
+	if rootObject(r.info, inner.X) != r.recv {
+		return 0
+	}
+	if fld, _ := r.info.Uses[inner.Sel].(*types.Var); fld != r.mu {
+		return 0
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return 1
+	case "Unlock", "RUnlock":
+		return -1
+	}
+	return 0
+}
+
+// recvField resolves sel to a direct field of the receiver's struct
+// (recv.field, (&recv).field, recv.field[i] roots elsewhere).
+func (r *lockRun) recvField(sel *ast.SelectorExpr) *types.Var {
+	if objectOf(r.info, sel.X) != r.recv {
+		return nil
+	}
+	fld, ok := r.info.Uses[sel.Sel].(*types.Var)
+	if !ok || !fld.IsField() {
+		return nil
+	}
+	return fld
+}
+
+// isSyncMutex reports whether t is sync.Mutex or sync.RWMutex.
+func isSyncMutex(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// namedOf unwraps pointers to the named struct type, if any.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

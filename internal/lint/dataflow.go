@@ -1,0 +1,157 @@
+package lint
+
+// Forward dataflow over the CFG: the solver half of the SSA-lite engine.
+// There are no phi nodes; instead each check defines a small abstract-domain
+// lattice (a comparable fact type plus a join), the solver iterates the
+// blocks to a fixpoint with per-variable facts joined pointwise at merge
+// points, and a final in-order reporting pass replays each block from its
+// converged in-state so diagnostics see flow-sensitive facts exactly once.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// state maps variables (types.Object) to a check-specific abstract fact.
+// A missing key means the fact type's zero value, which every lattice here
+// uses as its "unknown / bottom" element — so states stay sparse.
+type state[F comparable] map[types.Object]F
+
+func (s state[F]) clone() state[F] {
+	out := make(state[F], len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// join merges other into s pointwise, reporting whether s changed.
+func (s state[F]) join(other state[F], joinFact func(a, b F) F) bool {
+	changed := false
+	var zero F
+	for k, v := range other {
+		old, ok := s[k]
+		if !ok {
+			old = zero
+		}
+		nv := joinFact(old, v)
+		if nv != old || !ok {
+			s[k] = nv
+			changed = true
+		}
+	}
+	return changed
+}
+
+// flow is one forward dataflow problem over one function body.
+type flow[F comparable] struct {
+	cfg *CFG
+	// joinFact merges two facts for the same variable at a merge point.
+	joinFact func(a, b F) F
+	// transfer applies one node's effect to the state in place. When report
+	// is true the pass is the final in-order replay, and the transfer may
+	// emit diagnostics; during fixpoint iteration report is false.
+	transfer func(n ast.Node, s state[F], report bool)
+	// entry seeds the state at function entry (may be nil).
+	entry state[F]
+}
+
+// solve runs the fixpoint then the reporting pass, and returns the state at
+// the synthetic exit block (what a caller of this function observes).
+func (f *flow[F]) solve() state[F] {
+	in := make(map[*Block]state[F], len(f.cfg.Blocks))
+	for _, b := range f.cfg.Blocks {
+		in[b] = state[F]{}
+	}
+	if f.entry != nil {
+		in[f.cfg.Entry] = f.entry.clone()
+	}
+
+	// Worklist fixpoint. Block count is small (per function); a simple
+	// FIFO with membership dedup converges fast.
+	work := make([]*Block, 0, len(f.cfg.Blocks))
+	queued := make(map[*Block]bool, len(f.cfg.Blocks))
+	push := func(b *Block) {
+		if !queued[b] {
+			queued[b] = true
+			work = append(work, b)
+		}
+	}
+	for _, b := range f.cfg.Blocks {
+		push(b) // seed all blocks so unreachable code is still transferred
+	}
+	steps := 0
+	const maxSteps = 100000 // hard backstop; real functions converge in a few sweeps
+	for len(work) > 0 && steps < maxSteps {
+		steps++
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		out := in[b].clone()
+		for _, n := range b.Nodes {
+			f.transfer(n, out, false)
+		}
+		for _, succ := range b.Succs {
+			if in[succ].join(out, f.joinFact) {
+				push(succ)
+			}
+		}
+	}
+
+	// Reporting pass: replay each block once from its converged in-state.
+	for _, b := range f.cfg.Blocks {
+		s := in[b].clone()
+		for _, n := range b.Nodes {
+			f.transfer(n, s, true)
+		}
+	}
+	return in[f.cfg.Exit]
+}
+
+// objectOf resolves an identifier expression to its variable object, looking
+// through parentheses. Returns nil for anything that is not a plain
+// identifier naming a variable.
+func objectOf(info *types.Info, expr ast.Expr) types.Object {
+	expr = ast.Unparen(expr)
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// rootObject resolves the base variable of an lvalue-ish expression:
+// x, x[i], x.f, *x all root at x. Used for weak updates on aggregates.
+func rootObject(info *types.Info, expr ast.Expr) types.Object {
+	for {
+		expr = ast.Unparen(expr)
+		switch e := expr.(type) {
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		default:
+			return objectOf(info, expr)
+		}
+	}
+}
+
+// funcBodies yields every function body in a file with its enclosing
+// declaration name: top-level functions and methods, then function literals
+// (labeled by their enclosing function). Each body is visited once.
+func funcBodies(f *ast.File, visit func(name string, decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		visit(fd.Name.Name, fd, fd.Body)
+	}
+}

@@ -76,7 +76,10 @@ func (p *Pass) InPkg(rels ...string) bool {
 
 // Checks returns the full registry in reporting order.
 func Checks() []*Check {
-	return []*Check{RawMod, LazyBound, PoolLeak, RawGo, FloatExact, ErrDrop, DeadAssign}
+	return []*Check{
+		RawMod, LazyBound, PoolLeak, RawGo, FloatExact, ErrDrop, DeadAssign,
+		LazyDomain, LevelScale, CtxLeak, LockHeld,
+	}
 }
 
 // CheckNames returns the names of all registered checks.

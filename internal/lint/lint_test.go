@@ -155,6 +155,84 @@ func bareDirective() {
 	}
 }
 
+// TestDirectivePlacement checks the reach of a well-formed //lint:allow: it
+// suppresses findings on its own line and the line directly below, and
+// nothing else — a directive separated by a blank line, or placed after the
+// finding, does not suppress.
+func TestDirectivePlacement(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module hydra\n\ngo 1.22\n")
+	write("internal/sim/sim.go", `package sim
+
+import "errors"
+
+func step() error { return errors.New("x") }
+
+func farAbove() {
+	//lint:allow errdrop separated by a blank line: must not suppress
+
+	step()
+}
+
+func sameLine() {
+	step() //lint:allow errdrop same-line suppression
+}
+
+func lineAbove() {
+	//lint:allow errdrop line-above suppression
+	step()
+}
+
+func after() {
+	step()
+	//lint:allow errdrop directives do not reach upward: must not suppress
+}
+`)
+	mod, err := LoadModule(dir)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	diags := Run(mod, Checks())
+
+	byLine := map[int]Diagnostic{}
+	for _, d := range diags {
+		if d.Check == "errdrop" {
+			byLine[d.Pos.Line] = d
+		} else if d.Check == "directive" {
+			t.Errorf("unexpected directive diagnostic: %s", d)
+		}
+	}
+	cases := []struct {
+		name       string
+		line       int
+		suppressed bool
+	}{
+		{"blank line between directive and finding", 10, false},
+		{"directive on the finding's own line", 14, true},
+		{"directive on the line above", 19, true},
+		{"directive after the finding", 23, false},
+	}
+	for _, tc := range cases {
+		d, ok := byLine[tc.line]
+		if !ok {
+			t.Errorf("%s: no errdrop diagnostic at line %d\n%v", tc.name, tc.line, diags)
+			continue
+		}
+		if d.Suppressed != tc.suppressed {
+			t.Errorf("%s: suppressed = %v, want %v (%s)", tc.name, d.Suppressed, tc.suppressed, d)
+		}
+	}
+}
+
 // TestSelfClean asserts the analyzer runs clean over its own repository:
 // zero unsuppressed diagnostics on the tree that ships it.
 func TestSelfClean(t *testing.T) {

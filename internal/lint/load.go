@@ -40,6 +40,23 @@ type Module struct {
 	Dir  string
 	Fset *token.FileSet
 	Pkgs []*Package
+
+	memo map[string]any // module-scoped analysis artifacts, see cached
+}
+
+// cached memoizes module-scoped analysis artifacts (the function index, the
+// interprocedural summaries) so checks and packages of one Run share them
+// instead of recomputing per package. Run is sequential, so no locking.
+func (m *Module) cached(key string, build func() any) any {
+	if m.memo == nil {
+		m.memo = map[string]any{}
+	}
+	v, ok := m.memo[key]
+	if !ok {
+		v = build()
+		m.memo[key] = v
+	}
+	return v
 }
 
 // FindModuleRoot walks up from dir to the nearest directory containing a

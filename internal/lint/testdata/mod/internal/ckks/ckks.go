@@ -39,13 +39,13 @@ func okScalarSetup(p, q uint64) uint64 {
 // lazybound: a lazy product flows straight into a canonical-input consumer
 // and the function has no closing sweep.
 func badLazyFlow(a, w, ws, q uint64) uint64 {
-	return ring.AddMod(ring.MulModShoupLazy(a, w, ws, q), 0, q) // want lazybound
+	return ring.AddMod(ring.MulModShoupLazy(a, w, ws, q), 0, q) // want lazybound lazydomain
 }
 
 // lazybound: same escape through a Lazy-suffixed variable.
 func badLazyVar(a, w, ws, q uint64) uint64 {
 	vLazy := ring.MulModShoupLazy(a, w, ws, q)
-	return ring.AddMod(vLazy, 0, q) // want lazybound
+	return ring.AddMod(vLazy, 0, q) // want lazybound lazydomain
 }
 
 // lazybound: canonicalizing through ReduceFinal before the consumer is the
@@ -68,8 +68,55 @@ func okLazyWindow(row []uint64, w, ws, q uint64) uint64 {
 // lazybound: a suppressed case — the consumer documents tolerance for lazy
 // inputs.
 func okLazyAllowed(a, w, ws, q uint64) uint64 {
-	//lint:allow lazybound testdata: consumer tolerates [0,2q) inputs by contract
+	//lint:allow lazybound,lazydomain testdata: consumer tolerates [0,2q) inputs by contract
 	return ring.AddMod(ring.MulModShoupLazy(a, w, ws, q), 0, q)
+}
+
+// lazydomain: a sweep on one path does not sanction the other — the
+// whole-function lazybound heuristic is fooled by the ReduceFinal in the
+// branch, the path-sensitive engine is not.
+func badLazyBranch(a, w, ws, q uint64, fix bool) uint64 {
+	v := ring.MulModShoupLazy(a, w, ws, q)
+	if fix {
+		v = ring.ReduceFinal(v, q)
+	}
+	return ring.AddMod(v, 0, q) // want lazydomain
+}
+
+// lazydomain: the [0,4q) radix-4 transient cannot be closed by a single
+// conditional subtract.
+func badLazy4(a, b, q uint64) uint64 {
+	return ring.ReduceFinal(ring.AddModLazy4(a, b, q), q) // want lazydomain
+}
+
+// lazydomain: the full Barrett reduction closes any window.
+func okLazy4Reduced(a, b, q uint64) uint64 {
+	return ring.Reduce(ring.AddModLazy4(a, b, q), q)
+}
+
+// consumeCanon's summary marks its parameter canonical-expecting: the value
+// flows into ring.AddMod unswept.
+func consumeCanon(v, q uint64) uint64 {
+	return ring.AddMod(v, 0, q)
+}
+
+// consumeSwept tolerates lazy input: it sweeps before consuming.
+func consumeSwept(v, q uint64) uint64 {
+	return ring.AddMod(ring.ReduceFinal(v, q), 0, q)
+}
+
+// lazydomain: interprocedural — the lazy value crosses a call boundary into
+// a helper whose summary demands canonical input (lazybound also fires: any
+// unswept lazy escape looks the same to it).
+func badLazyInterproc(a, w, ws, q uint64) uint64 {
+	return consumeCanon(ring.MulModShoupLazy(a, w, ws, q), q) // want lazybound lazydomain
+}
+
+// The tolerant helper sanctions the same flow for lazydomain; lazybound
+// cannot see through the call boundary and still fires — the precision the
+// summary engine buys.
+func okLazyInterproc(a, w, ws, q uint64) uint64 {
+	return consumeSwept(ring.MulModShoupLazy(a, w, ws, q), q) // want lazybound
 }
 
 type holder struct {

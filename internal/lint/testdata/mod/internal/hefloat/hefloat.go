@@ -1,0 +1,58 @@
+// Package hefloat exercises the levelscale check: the modulus-chain
+// protocol (rescale between multiplications, relinearize after Mul, align
+// operands before Add) tracked through the stub evaluator.
+package hefloat
+
+import "hydra/internal/ckks"
+
+// levelscale: multiplying a value that already carries an unrescaled
+// product — the scale reaches Δ³ and overflows the modulus budget.
+func badDoubleMul(ev *ckks.Evaluator, a, b *ckks.Ciphertext) *ckks.Ciphertext {
+	t := ev.MulRelin(a, b)
+	return ev.MulRelin(t, a) // want levelscale
+}
+
+// levelscale: Mul-after-Mul without relinearize — the degree-2 ciphertext
+// must be relinearized before it is multiplied again.
+func badNoRelin(ev *ckks.Evaluator, a, b *ckks.Ciphertext) *ckks.Ciphertext {
+	t := ev.Rescale(ev.Mul(a, b))
+	return ev.Mul(t, b) // want levelscale
+}
+
+// levelscale: adding an unrescaled product to its own input — the scales
+// differ (Δ² vs Δ) and the evaluator panics at run time.
+func badScaleMismatch(ev *ckks.Evaluator, a, b *ckks.Ciphertext) *ckks.Ciphertext {
+	t := ev.MulRelin(a, b)
+	return ev.Add(t, a) // want levelscale
+}
+
+// levelscale: adding across a Rescale boundary without aligning — the
+// implicit align burns a copy and a level drop.
+func badLevelMismatch(ev *ckks.Evaluator, a, b *ckks.Ciphertext) *ckks.Ciphertext {
+	t := ev.Rescale(ev.MulRelin(a, b))
+	return ev.Add(t, a) // want levelscale
+}
+
+// levelscale: the sanctioned ladder — rescale between multiplications,
+// relinearize the product, align explicitly before the final add.
+func okLadder(ev *ckks.Evaluator, a, b *ckks.Ciphertext) *ckks.Ciphertext {
+	t := ev.Rescale(ev.MulRelin(a, b))
+	u := a.CopyNew()
+	u.DropLevel(1)
+	return ev.Add(t, u)
+}
+
+// levelscale: rotation and negation are level/scale-preserving.
+func okRotateChain(ev *ckks.Evaluator, a, b *ckks.Ciphertext) *ckks.Ciphertext {
+	t := ev.Rescale(ev.MulRelin(a, ev.Rotate(b, 1)))
+	u := ev.Rescale(ev.MulRelin(a, ev.Rotate(b, 2)))
+	return ev.Add(t, u)
+}
+
+// levelscale: a suppressed case — deliberate unrescaled accumulation with
+// verified scale headroom.
+func okAllowed(ev *ckks.Evaluator, a, b *ckks.Ciphertext) *ckks.Ciphertext {
+	t := ev.MulRelin(a, b)
+	//lint:allow levelscale testdata: one pending rescale is within the noise budget here
+	return ev.Add(t, a)
+}
