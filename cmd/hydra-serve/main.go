@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"sort"
 	"strconv"
 	"strings"
@@ -50,6 +51,29 @@ func main() {
 	}
 }
 
+// gitSHA returns the measurement provenance commit: scripts/bench.sh exports
+// BENCH_GIT_SHA so all four BENCH_*.json files agree; a direct invocation
+// falls back to asking git.
+func gitSHA() string {
+	if s := os.Getenv("BENCH_GIT_SHA"); s != "" {
+		return s
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// utcTime returns the run's UTC wall-clock stamp, preferring the harness's
+// shared BENCH_UTC_TIME.
+func utcTime() string {
+	if s := os.Getenv("BENCH_UTC_TIME"); s != "" {
+		return s
+	}
+	return time.Now().UTC().Format(time.RFC3339)
+}
+
 // fleetReport is the per-fleet-size section of BENCH_serve.json.
 type fleetReport struct {
 	Cards          int     `json:"cards"`
@@ -63,6 +87,8 @@ type fleetReport struct {
 
 // report is the whole BENCH_serve.json document.
 type report struct {
+	GitSHA     string        `json:"git_sha"`
+	UTCTime    string        `json:"utc_time"`
 	Backend    string        `json:"backend"`
 	RateHz     float64       `json:"arrival_rate_hz"`
 	HorizonSec float64       `json:"horizon_seconds"`
@@ -88,6 +114,8 @@ func run(fleetList string, cps int, rate float64, duration time.Duration, seed i
 	}
 
 	rep := report{
+		GitSHA:     gitSHA(),
+		UTCTime:    utcTime(),
 		Backend:    "sim",
 		RateHz:     rate,
 		HorizonSec: duration.Seconds(),

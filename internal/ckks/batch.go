@@ -1,0 +1,281 @@
+package ckks
+
+import (
+	"fmt"
+
+	"hydra/internal/ring"
+)
+
+// Batched ciphertext operations.
+//
+// The serving fleet hands the evaluator whole batches of ciphertexts that
+// undergo the same operation — the scenario Hydra's lanes are sized for.
+// These entry points re-partition that work over the ring's (limb ×
+// batch-tile) scheduler and, for the keyswitch, stream every switching-key
+// row once across the batch (ring.MulAddRowLazyBatch) instead of reloading
+// it per ciphertext. Every batch operation is bit-identical to the
+// sequential loop over its scalar counterpart; batch_test.go pins that.
+
+// ksAccumBatch is ksAccum over a batch of hoisted decompositions sharing one
+// switching key (and, when perm is non-nil, one fused automorphism gather).
+// All decompositions must sit at the same level. The key row for each
+// (digit, modulus) pair is loaded once and folded into every ciphertext's
+// accumulator before the next is touched. Returned accumulator rows are
+// canonical, pool-owned, and released by the caller.
+func (ev *Evaluator) ksAccumBatch(hs []*hoistedDecomp, perm []int, swk *SwitchingKey) (accs0, accs1 [][][]uint64) {
+	r := ev.params.RingQP()
+	lvl := hs[0].lvl
+	accs0 = make([][][]uint64, len(hs))
+	accs1 = make([][][]uint64, len(hs))
+	for b := range hs {
+		if hs[b].lvl != lvl {
+			panic("ckks: ksAccumBatch requires a level-uniform batch")
+		}
+		accs0[b] = make([][]uint64, lvl+2)
+		accs1[b] = make([][]uint64, lvl+2)
+	}
+	ring.ForEachLimb(lvl+2, func(jj int) {
+		tblIdx := hs[0].modIdx[jj]
+		qj := r.Moduli[tblIdx]
+		m := r.Tables[tblIdx].Mod
+		a0s := make([][]uint64, len(hs))
+		a1s := make([][]uint64, len(hs))
+		xs := make([][]uint64, len(hs))
+		for b := range hs {
+			row0, row1 := r.GetRow(), r.GetRow()
+			//lint:allow poolleak accumulator rows transfer ownership to the caller, which releases them after the ModDown consumes them
+			a0s[b], a1s[b] = row0, row1
+		}
+		for i := 0; i <= lvl; i++ {
+			kb := swk.DigitsB[i].Coeffs[tblIdx]
+			ka := swk.DigitsA[i].Coeffs[tblIdx]
+			for b := range hs {
+				xs[b] = hs[b].digits[i][jj]
+			}
+			if perm == nil {
+				m.MulAddRowLazyBatch(a0s, xs, kb)
+				m.MulAddRowLazyBatch(a1s, xs, ka)
+			} else {
+				m.MulAddRowLazyGatherBatch(a0s, xs, kb, perm)
+				m.MulAddRowLazyGatherBatch(a1s, xs, ka, perm)
+			}
+		}
+		for b := range hs {
+			ring.ReduceFinalVec(a0s[b], qj)
+			ring.ReduceFinalVec(a1s[b], qj)
+			accs0[b][jj], accs1[b][jj] = a0s[b], a1s[b]
+		}
+	})
+	return accs0, accs1
+}
+
+// modDownPBatch is modDownP over a batch of accumulators: the inverse NTTs
+// batch per extended modulus, the div-round runs on the (limb × tile) grid,
+// and the closing forward NTTs batch across the whole output set.
+func (ev *Evaluator) modDownPBatch(accs [][][]uint64, modIdx []int, lvl int) []*ring.Poly {
+	r := ev.params.RingQP()
+	p := ev.params.P()
+
+	ring.ForEachLimb(len(modIdx), func(jj int) {
+		rows := make([][]uint64, len(accs))
+		for b := range accs {
+			rows[b] = accs[b][jj]
+		}
+		r.Tables[modIdx[jj]].InverseBatch(rows)
+	})
+
+	outs := make([]*ring.Poly, len(accs))
+	for b := range outs {
+		outs[b] = r.NewPoly(lvl)
+	}
+	tiles := (len(accs) + 7) / 8
+	ring.ForEachLimbTile(lvl+1, tiles, func(j, tile int) {
+		qj := r.Moduli[j]
+		inv := ev.pInvModQi[j]
+		invShoup := ring.ShoupPrecomp(inv, qj)
+		lo, hi := tile*8, (tile+1)*8
+		if hi > len(accs) {
+			hi = len(accs)
+		}
+		for b := lo; b < hi; b++ {
+			src := accs[b][j]
+			rem := accs[b][lvl+1]
+			dst := outs[b].Coeffs[j]
+			for t := range dst {
+				rr := ring.CenteredMod(rem[t], p, qj)
+				dst[t] = ring.MulModShoup(ring.SubMod(src[t], rr, qj), inv, invShoup, qj)
+			}
+		}
+	})
+	r.NTTBatch(outs...)
+	return outs
+}
+
+// KeySwitchBatch applies one switching key to a batch of degree-1 parts
+// (NTT domain, all at the same level), returning the per-ciphertext
+// (out0, out1) pairs. The digit inner products stream every key row once
+// across the batch; results are bit-identical to per-polynomial keySwitch
+// calls.
+func (ev *Evaluator) KeySwitchBatch(ds []*ring.Poly, swk *SwitchingKey) (outs0, outs1 []*ring.Poly) {
+	r := ev.params.RingQP()
+	lvl := ds[0].Level()
+	hs := make([]*hoistedDecomp, len(ds))
+	for b, d := range ds {
+		if d.Level() != lvl {
+			panic("ckks: KeySwitchBatch requires a level-uniform batch")
+		}
+		hs[b] = ev.decomposeExt(d)
+	}
+	accs0, accs1 := ev.ksAccumBatch(hs, nil, swk)
+	for _, h := range hs {
+		h.release(r)
+	}
+	outs0 = ev.modDownPBatch(accs0, hs[0].modIdx, lvl)
+	outs1 = ev.modDownPBatch(accs1, hs[0].modIdx, lvl)
+	for b := range accs0 {
+		for jj := range accs0[b] {
+			r.PutRow(accs0[b][jj])
+			r.PutRow(accs1[b][jj])
+		}
+	}
+	return outs0, outs1
+}
+
+// RotateBatch rotates every ciphertext by the same slot count — the fleet
+// fan-out case — sharing the rotation key's row traffic and the automorphism
+// index walk across the batch. Ciphertexts at mixed levels fall back to the
+// per-ciphertext path. Results are bit-identical to per-ciphertext Rotate
+// calls.
+func (ev *Evaluator) RotateBatch(cts []*Ciphertext, rot int) []*Ciphertext {
+	out := make([]*Ciphertext, len(cts))
+	if len(cts) == 0 {
+		return out
+	}
+	k := ring.GaloisElementForRotation(ev.params.N(), rot)
+	if k == 1 {
+		for b, ct := range cts {
+			out[b] = ct.CopyNew()
+		}
+		return out
+	}
+	if ev.rtks == nil {
+		panic("ckks: evaluator has no rotation keys")
+	}
+	swk, ok := ev.rtks.Keys[k]
+	if !ok {
+		panic(fmt.Sprintf("ckks: missing rotation key for Galois element %d", k))
+	}
+	uniform := true
+	for _, ct := range cts[1:] {
+		if ct.Level() != cts[0].Level() {
+			uniform = false
+			break
+		}
+	}
+	if !uniform {
+		for b, ct := range cts {
+			out[b] = ev.automorphism(ct, k)
+		}
+		return out
+	}
+
+	r := ev.params.RingQP()
+	lvl := cts[0].Level()
+	perm := ring.AutomorphismNTTIndex(r.N, k)
+
+	hs := make([]*hoistedDecomp, len(cts))
+	for b, ct := range cts {
+		hs[b] = ev.decomposeExt(ct.C1)
+	}
+	accs0, accs1 := ev.ksAccumBatch(hs, perm, swk)
+	modIdx := hs[0].modIdx
+	for _, h := range hs {
+		h.release(r)
+	}
+	ks0s := ev.modDownPBatch(accs0, modIdx, lvl)
+	ks1s := ev.modDownPBatch(accs1, modIdx, lvl)
+	for b := range accs0 {
+		for jj := range accs0[b] {
+			r.PutRow(accs0[b][jj])
+			r.PutRow(accs1[b][jj])
+		}
+	}
+
+	c0s := make([]*ring.Poly, len(cts))
+	rc0s := make([]*ring.Poly, len(cts))
+	for b, ct := range cts {
+		c0s[b] = ct.C0
+		rc0s[b] = r.NewPoly(lvl)
+	}
+	r.AutomorphismNTTBatch(c0s, perm, rc0s)
+	for b, ct := range cts {
+		r.Add(rc0s[b], ks0s[b], rc0s[b])
+		out[b] = &Ciphertext{C0: rc0s[b], C1: ks1s[b], Scale: ct.Scale}
+	}
+	return out
+}
+
+// RescaleBatch rescales every ciphertext in one dispatch: the 2·B component
+// polynomials share batched inverse and forward NTTs and a (limb × tile)
+// div-round sweep. Ciphertexts may sit at mixed levels. Results are
+// bit-identical to per-ciphertext Rescale calls.
+func (ev *Evaluator) RescaleBatch(cts []*Ciphertext) []*Ciphertext {
+	r := ev.params.RingQP()
+	works := make([]*ring.Poly, 2*len(cts))
+	outs := make([]*ring.Poly, 2*len(cts))
+	limbs := 0
+	for b, ct := range cts {
+		if ct.Level() == 0 {
+			panic("ckks: cannot rescale at level 0")
+		}
+		lvl := ct.Level()
+		if lvl > limbs {
+			limbs = lvl // div-round writes limbs 0..lvl-1
+		}
+		for c, comp := range [2]*ring.Poly{ct.C0, ct.C1} {
+			w := r.GetScratch(lvl)
+			w.Copy(comp)
+			//lint:allow poolleak scratch rows are gathered for the batched INTT and returned to the pool before RescaleBatch returns
+			works[2*b+c] = w
+			outs[2*b+c] = r.NewPoly(lvl - 1)
+		}
+	}
+	r.INTTBatch(works...)
+	tiles := (len(works) + 7) / 8
+	ring.ForEachLimbTile(limbs, tiles, func(j, tile int) {
+		lo, hi := tile*8, (tile+1)*8
+		if hi > len(works) {
+			hi = len(works)
+		}
+		for idx := lo; idx < hi; idx++ {
+			top := works[idx].Level()
+			if j >= top {
+				continue
+			}
+			qj := r.Moduli[j]
+			qLast := r.Moduli[top]
+			inv := ring.InvMod(ring.Reduce(qLast, qj), qj)
+			invShoup := ring.ShoupPrecomp(inv, qj)
+			src := works[idx].Coeffs[j]
+			rem := works[idx].Coeffs[top]
+			dst := outs[idx].Coeffs[j]
+			for t := range dst {
+				rr := ring.CenteredMod(rem[t], qLast, qj)
+				dst[t] = ring.MulModShoup(ring.SubMod(src[t], rr, qj), inv, invShoup, qj)
+			}
+		}
+	})
+	r.NTTBatch(outs...)
+	res := make([]*Ciphertext, len(cts))
+	for b, ct := range cts {
+		qLast := r.Moduli[ct.Level()]
+		res[b] = &Ciphertext{
+			C0:    outs[2*b],
+			C1:    outs[2*b+1],
+			Scale: ct.Scale / float64(qLast),
+		}
+		r.PutScratch(works[2*b])
+		r.PutScratch(works[2*b+1])
+	}
+	return res
+}

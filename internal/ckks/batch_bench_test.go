@@ -1,0 +1,45 @@
+package ckks
+
+import (
+	"testing"
+
+	"hydra/internal/ring"
+)
+
+// benchKeySwitchSetup encrypts a batch and returns the C1 components plus the
+// rotation-by-1 switching key, the digit-decomposition inner product being the
+// dominant cost either way.
+func benchKeySwitchSetup(b *testing.B, batch int) (*testContext, []*ring.Poly, *SwitchingKey) {
+	b.Helper()
+	tc := newTestContext(b, 12, 4, []int{1})
+	k := ring.GaloisElementForRotation(tc.params.N(), 1)
+	swk := tc.eval.rtks.Keys[k]
+	cts := encryptBatch(tc, batch)
+	ds := make([]*ring.Poly, batch)
+	for i, ct := range cts {
+		ds[i] = ct.C1
+	}
+	return tc, ds, swk
+}
+
+// BenchmarkKeySwitchPerCt8 is the per-ciphertext dispatch baseline: eight
+// independent keyswitches, each re-streaming every key row from memory.
+func BenchmarkKeySwitchPerCt8(b *testing.B) {
+	tc, ds, swk := benchKeySwitchSetup(b, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, d := range ds {
+			tc.eval.keySwitch(d, swk)
+		}
+	}
+}
+
+// BenchmarkKeySwitchBatch8 is the batched path: one pass over the key rows
+// feeds all eight accumulators, and the NTTs ride the batch entry points.
+func BenchmarkKeySwitchBatch8(b *testing.B) {
+	tc, ds, swk := benchKeySwitchSetup(b, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc.eval.KeySwitchBatch(ds, swk)
+	}
+}

@@ -1,0 +1,116 @@
+package ckks
+
+import (
+	"testing"
+
+	"hydra/internal/ring"
+)
+
+// Batch-vs-per-ciphertext differential pins: RotateBatch, RescaleBatch and
+// KeySwitchBatch must be bit-identical to the sequential loop over their
+// scalar counterparts, across batch shapes that exercise partial, exact and
+// ragged tiles. ci.sh runs this package under -race, so the batched
+// (limb × tile) fan-out races here too.
+
+var ctBatchShapes = []int{1, 3, 8}
+
+func encryptBatch(tc *testContext, b int) []*Ciphertext {
+	cts := make([]*Ciphertext, b)
+	for i := range cts {
+		vals := randomComplex(tc.params.Slots(), int64(1000+i))
+		pt, err := tc.enc.Encode(vals)
+		if err != nil {
+			panic(err)
+		}
+		cts[i] = tc.encr.Encrypt(pt)
+	}
+	return cts
+}
+
+func TestRotateBatchMatchesPerCiphertext(t *testing.T) {
+	tc := newTestContext(t, 11, 3, []int{1, 5})
+	for _, b := range ctBatchShapes {
+		for _, rot := range []int{1, 5} {
+			cts := encryptBatch(tc, b)
+			got := tc.eval.RotateBatch(cts, rot)
+			for i, ct := range cts {
+				want := tc.eval.Rotate(ct, rot)
+				if !want.Equal(got[i]) {
+					t.Fatalf("batch=%d rot=%d: ciphertext %d diverged from per-ct Rotate", b, rot, i)
+				}
+			}
+		}
+	}
+}
+
+// Mixed-level batches take the per-ciphertext fallback; results must still
+// match the scalar path exactly.
+func TestRotateBatchMixedLevels(t *testing.T) {
+	tc := newTestContext(t, 11, 3, []int{1})
+	cts := encryptBatch(tc, 3)
+	cts[1] = tc.eval.Rescale(tc.eval.MulPlain(cts[1], mustEncodeOnes(tc, cts[1])))
+	got := tc.eval.RotateBatch(cts, 1)
+	for i, ct := range cts {
+		want := tc.eval.Rotate(ct, 1)
+		if !want.Equal(got[i]) {
+			t.Fatalf("mixed levels: ciphertext %d diverged", i)
+		}
+	}
+}
+
+func mustEncodeOnes(tc *testContext, ct *Ciphertext) *Plaintext {
+	vals := make([]complex128, tc.params.Slots())
+	for i := range vals {
+		vals[i] = 1
+	}
+	pt, err := tc.enc.EncodeAtLevel(vals, tc.params.DefaultScale(), ct.Level())
+	if err != nil {
+		panic(err)
+	}
+	return pt
+}
+
+func TestRescaleBatchMatchesPerCiphertext(t *testing.T) {
+	tc := newTestContext(t, 11, 3, nil)
+	for _, b := range ctBatchShapes {
+		cts := encryptBatch(tc, b)
+		for i, ct := range cts {
+			cts[i] = tc.eval.MulPlain(ct, mustEncodeOnes(tc, ct))
+		}
+		// A mixed-level batch member exercises the per-work top handling.
+		if b >= 3 {
+			cts[2] = tc.eval.Rescale(cts[2])
+			cts[2] = tc.eval.MulPlain(cts[2], mustEncodeOnes(tc, cts[2]))
+		}
+		got := tc.eval.RescaleBatch(cts)
+		for i, ct := range cts {
+			want := tc.eval.Rescale(ct)
+			if !want.Equal(got[i]) {
+				t.Fatalf("batch=%d: ciphertext %d diverged from per-ct Rescale", b, i)
+			}
+			if want.Scale != got[i].Scale {
+				t.Fatalf("batch=%d: ciphertext %d scale diverged", b, i)
+			}
+		}
+	}
+}
+
+func TestKeySwitchBatchMatchesPerPoly(t *testing.T) {
+	tc := newTestContext(t, 11, 3, []int{1})
+	k := ring.GaloisElementForRotation(tc.params.N(), 1)
+	swk := tc.eval.rtks.Keys[k]
+	for _, b := range ctBatchShapes {
+		cts := encryptBatch(tc, b)
+		ds := make([]*ring.Poly, b)
+		for i, ct := range cts {
+			ds[i] = ct.C1
+		}
+		outs0, outs1 := tc.eval.KeySwitchBatch(ds, swk)
+		for i, ct := range cts {
+			w0, w1 := tc.eval.keySwitch(ct.C1, swk)
+			if !w0.Equal(outs0[i]) || !w1.Equal(outs1[i]) {
+				t.Fatalf("batch=%d: keyswitch output %d diverged from per-poly path", b, i)
+			}
+		}
+	}
+}

@@ -403,6 +403,8 @@ func (ev *Evaluator) decomposeExt(d *ring.Poly) *hoistedDecomp {
 	}
 	h.modIdx[lvl+1] = pIdx
 
+	// Extension pass: lift every digit to every extended modulus. The NTTs
+	// are deferred so they can be regrouped per table below.
 	h.digits = make([][][]uint64, lvl+1)
 	ring.ForEachLimb(lvl+1, func(i int) {
 		digit := dCoeff.Coeffs[i]
@@ -417,11 +419,21 @@ func (ev *Evaluator) decomposeExt(d *ring.Poly) *hoistedDecomp {
 					ext[t] = m.Reduce64(digit[t])
 				}
 			}
-			r.Tables[tblIdx].Forward(ext)
 			//lint:allow poolleak digit rows transfer ownership to hoistedDecomp; h.release returns them to the pool
 			rows[jj] = ext
 		}
 		h.digits[i] = rows
+	})
+	// Transform pass, regrouped per extended modulus: all lvl+1 digits' rows
+	// for one table go through that table's ForwardBatch, loading its twiddle
+	// tables and scratch row once and streaming them across the digits,
+	// instead of interleaving tables digit by digit.
+	ring.ForEachLimb(lvl+2, func(jj int) {
+		rows := make([][]uint64, lvl+1)
+		for i := 0; i <= lvl; i++ {
+			rows[i] = h.digits[i][jj]
+		}
+		r.Tables[h.modIdx[jj]].ForwardBatch(rows)
 	})
 	r.PutScratch(dCoeff)
 	return h

@@ -160,6 +160,41 @@ func (ev *Evaluator) MulPlainExtAcc(x *ExtCiphertext, pt *ExtPlaintext, acc *Ext
 	})
 }
 
+// MulPlainExtAccBatch folds a whole sequence of (x, pt) products into acc in
+// one pass: acc += Σ xs[ti] ⊙ pts[ti], row-wise over the extended basis. Per
+// accumulator row, every term of the sequence streams through while that row
+// stays resident — a BSGS giant step folds all its diagonals in one sweep of
+// the accumulator instead of re-walking it per diagonal. The per-pair
+// contracts of MulPlainExtAcc apply; results are bit-identical to the
+// sequential per-pair calls.
+func (ev *Evaluator) MulPlainExtAccBatch(xs []*ExtCiphertext, pts []*ExtPlaintext, acc *ExtCiphertext) {
+	if len(xs) != len(pts) {
+		panic("ckks: MulPlainExtAccBatch length mismatch")
+	}
+	for ti, x := range xs {
+		if x.Lvl != acc.Lvl {
+			panic(fmt.Sprintf("ckks: level mismatch in MulPlainExtAcc: %d vs %d", x.Lvl, acc.Lvl))
+		}
+		if pts[ti].Lvl < x.Lvl {
+			panic(fmt.Sprintf("ckks: plaintext level %d below ciphertext level %d in MulPlainExtAcc", pts[ti].Lvl, x.Lvl))
+		}
+		if !sameScale(acc.Scale, x.Scale*pts[ti].Scale) {
+			panic(fmt.Sprintf("ckks: scale mismatch in MulPlainExtAcc: %g vs %g", acc.Scale, x.Scale*pts[ti].Scale))
+		}
+	}
+	r := ev.params.RingQP()
+	special := ev.params.SpecialIndex()
+	ring.ForEachLimb(acc.Lvl+2, func(jj int) {
+		tblIdx := acc.ModIdx[jj]
+		m := r.Tables[tblIdx].Mod
+		for ti, x := range xs {
+			prow := pts[ti].row(tblIdx, special)
+			m.MulAddRowLazy(acc.C0[jj], x.C0[jj], prow)
+			m.MulAddRowLazy(acc.C1[jj], x.C1[jj], prow)
+		}
+	})
+}
+
 // AddExtAcc adds x into acc in place over the extended basis (acc += x),
 // both staying lazy in [0, 2q). Levels and scales must match.
 func (ev *Evaluator) AddExtAcc(x *ExtCiphertext, acc *ExtCiphertext) {

@@ -338,9 +338,14 @@ func (p *TransformPlan) Apply(eval *ckks.Evaluator, ct *ckks.Ciphertext) (*ckks.
 		gi, grp := gi, &p.groups[gi]
 		fns[gi] = func() error {
 			acc := eval.NewExtAccumulator(ct.Level(), ct.Scale*p.Scale)
+			// One batched fold per giant step: every diagonal of the group
+			// streams through each accumulator row while it stays hot,
+			// instead of one full accumulator walk per diagonal.
+			xs := make([]*ckks.ExtCiphertext, len(grp.js))
 			for ti, j := range grp.js {
-				eval.MulPlainExtAcc(baby[j], grp.pts[ti], acc)
+				xs[ti] = baby[j]
 			}
+			eval.MulPlainExtAccBatch(xs, grp.pts, acc)
 			if grp.g != 0 {
 				// The group's only ModDown; the giant rotation re-enters the
 				// extended basis so the final fold stays deferred.

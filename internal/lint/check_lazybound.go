@@ -75,14 +75,27 @@ func calleeName(call *ast.CallExpr) string {
 // helper family itself, the canonicalizing sweeps, and the NTT entry points
 // (whose kernels fold the sweep into their last pass).
 func lazyAware(name string) bool {
-	return strings.HasSuffix(name, "Lazy") ||
+	return isLazyHelper(name) ||
 		strings.Contains(name, "ReduceFinal") ||
 		isNTTEntry(name)
 }
 
-// isNTTEntry matches the transform entry points that accept lazy input.
+// isLazyHelper matches the lazy kernel family by naming contract: the scalar
+// and row helpers end in Lazy (MulAddLazy, MulAddRowLazy, …); the batch
+// layer's kernels append Batch to a Lazy-bearing stem (MulAddRowLazyBatch,
+// MulAddRowLazyGatherBatch) — they stream one shared row across many lazy
+// accumulators under the same [0,2q) contract.
+func isLazyHelper(name string) bool {
+	return strings.HasSuffix(name, "Lazy") ||
+		(strings.HasSuffix(name, "Batch") && strings.Contains(name, "Lazy"))
+}
+
+// isNTTEntry matches the transform entry points that accept lazy input,
+// including the batch layer's shared-scratch variants.
 func isNTTEntry(name string) bool {
-	return name == "Forward" || name == "Inverse" || strings.Contains(name, "NTT")
+	return name == "Forward" || name == "Inverse" ||
+		name == "ForwardBatch" || name == "InverseBatch" ||
+		strings.Contains(name, "NTT")
 }
 
 // hasCanonicalizingSweep reports whether the function body contains a call

@@ -1,0 +1,265 @@
+package ring
+
+// Batch execution layer.
+//
+// Hydra's lanes only reach full occupancy when whole batches of residue
+// polynomials stream through each compute unit back to back; one ciphertext
+// at a time leaves the systolic array draining between ops. The software
+// analogue: every per-polynomial entry point here has a batch variant that
+// loads per-limb state once — the NTT scratch row, the automorphism index
+// permutation, the modulus constants — and streams it across the batch,
+// with the worker pool re-partitioned over (limb × batch-tile) units via
+// ForEachLimbTile instead of whole limbs.
+//
+// Every batch variant is a bit-identity seam over its per-polynomial
+// counterpart: the batch differential tests (batch_test.go) pin
+// NTTBatch/INTTBatch/MulCoeffsBatch/AutomorphismNTTBatch to the sequential
+// loop over the scalar API for every shipped degree and batch shape.
+
+// batchTileRows is the number of polynomial rows per scheduling tile. Eight
+// rows of a LogN-14 limb are 1 MiB of streamed data against one shared
+// scratch row and twiddle table — deep enough to amortize per-call setup,
+// small enough that a batch of 8 ciphertexts still yields multiple units
+// per limb.
+const batchTileRows = 8
+
+// ForwardBatch runs the forward NTT over every row, sharing one scratch
+// ping-pong row across the whole batch instead of a pool round trip per
+// transform. Rows must all have length N and obey Forward's input contract.
+// Output is bit-identical to calling Forward on each row.
+func (t *NTTTable) ForwardBatch(rows [][]uint64) {
+	if t.reference || !t.useGenerated {
+		for _, row := range rows {
+			t.Forward(row)
+		}
+		return
+	}
+	k := generatedKernels[t.LogN]
+	sp := t.genScratch.Get().(*[]uint64)
+	for _, row := range rows {
+		k.forward(t, row, *sp)
+	}
+	t.genScratch.Put(sp)
+}
+
+// InverseBatch runs the inverse NTT over every row, sharing one scratch row
+// across the batch. Output is bit-identical to calling Inverse on each row.
+func (t *NTTTable) InverseBatch(rows [][]uint64) {
+	if t.reference || !t.useGenerated {
+		for _, row := range rows {
+			t.Inverse(row)
+		}
+		return
+	}
+	k := generatedKernels[t.LogN]
+	sp := t.genScratch.Get().(*[]uint64)
+	for _, row := range rows {
+		k.inverse(t, row, *sp)
+	}
+	t.genScratch.Put(sp)
+}
+
+// batchTiles returns the tile count covering b rows.
+func batchTiles(b int) int { return (b + batchTileRows - 1) / batchTileRows }
+
+// tileBounds returns the [lo, hi) row range of a tile over b rows.
+func tileBounds(tile, b int) (lo, hi int) {
+	lo = tile * batchTileRows
+	hi = lo + batchTileRows
+	if hi > b {
+		hi = b
+	}
+	return lo, hi
+}
+
+// maxLimbs returns the largest limb count in the batch. Polynomials in one
+// batch may sit at different levels; each limb's work unit covers only the
+// rows that reach it.
+func maxLimbs(ps []*Poly) int {
+	limbs := 0
+	for _, p := range ps {
+		if l := len(p.Coeffs); l > limbs {
+			limbs = l
+		}
+	}
+	return limbs
+}
+
+// gatherRows appends to buf the limb-th coefficient row of every polynomial
+// in ps[lo:hi] that reaches that limb.
+func gatherRows(buf [][]uint64, ps []*Poly, limb, lo, hi int) [][]uint64 {
+	for _, p := range ps[lo:hi] {
+		if limb < len(p.Coeffs) {
+			buf = append(buf, p.Coeffs[limb])
+		}
+	}
+	return buf
+}
+
+// NTTBatch transforms every polynomial to the evaluation domain in one
+// dispatch: the (limb × tile) grid is fanned over the worker pool limb-major,
+// so each limb's twiddle tables and scratch row are loaded once and streamed
+// across the whole batch. Results are bit-identical to calling NTT on each
+// polynomial in turn.
+func (r *Ring) NTTBatch(ps ...*Poly) {
+	for _, p := range ps {
+		if p.IsNTT {
+			panic("ring: polynomial already in NTT domain")
+		}
+	}
+	ForEachLimbTile(maxLimbs(ps), batchTiles(len(ps)), func(limb, tile int) {
+		lo, hi := tileBounds(tile, len(ps))
+		rows := gatherRows(make([][]uint64, 0, batchTileRows), ps, limb, lo, hi)
+		r.Tables[limb].ForwardBatch(rows)
+	})
+	for _, p := range ps {
+		p.IsNTT = true
+	}
+}
+
+// INTTBatch transforms every polynomial back to the coefficient domain in
+// one dispatch (see NTTBatch). Results are bit-identical to per-polynomial
+// INTT calls.
+func (r *Ring) INTTBatch(ps ...*Poly) {
+	for _, p := range ps {
+		if !p.IsNTT {
+			panic("ring: polynomial already in coefficient domain")
+		}
+	}
+	ForEachLimbTile(maxLimbs(ps), batchTiles(len(ps)), func(limb, tile int) {
+		lo, hi := tileBounds(tile, len(ps))
+		rows := gatherRows(make([][]uint64, 0, batchTileRows), ps, limb, lo, hi)
+		r.Tables[limb].InverseBatch(rows)
+	})
+	for _, p := range ps {
+		p.IsNTT = false
+	}
+}
+
+// batchLevel returns the common working level of an (a, b, out) triple,
+// mirroring the scalar ops' minLevel clamping.
+func batchLevel(a, b, out *Poly) int {
+	lvl := minLevel(a, b)
+	if out.Level() < lvl {
+		lvl = out.Level()
+	}
+	return lvl
+}
+
+// MulCoeffsBatch sets outs[i] = as[i] ⊙ bs[i] for every i in one fused
+// dispatch over the (limb × tile) grid. All inputs must be NTT-domain.
+// Bit-identical to per-triple MulCoeffs calls.
+func (r *Ring) MulCoeffsBatch(as, bs, outs []*Poly) {
+	if len(as) != len(bs) || len(as) != len(outs) {
+		panic("ring: MulCoeffsBatch length mismatch")
+	}
+	for i := range as {
+		if !as[i].IsNTT || !bs[i].IsNTT {
+			panic("ring: MulCoeffs requires NTT-domain operands")
+		}
+	}
+	limbs := 0
+	for i := range as {
+		if l := batchLevel(as[i], bs[i], outs[i]) + 1; l > limbs {
+			limbs = l
+		}
+	}
+	ForEachLimbTile(limbs, batchTiles(len(as)), func(limb, tile int) {
+		m := r.Tables[limb].Mod
+		lo, hi := tileBounds(tile, len(as))
+		for i := lo; i < hi; i++ {
+			if limb > batchLevel(as[i], bs[i], outs[i]) {
+				continue
+			}
+			ai, bi, oi := as[i].Coeffs[limb], bs[i].Coeffs[limb], outs[i].Coeffs[limb]
+			for j := range oi {
+				oi[j] = m.MulModBarrett(ai[j], bi[j])
+			}
+		}
+	})
+	for _, out := range outs {
+		out.IsNTT = true
+	}
+}
+
+// MulCoeffsAddBatch accumulates accs[i] += as[i] ⊙ bs[i] (canonical residues)
+// for every i in one fused dispatch. All operands must be NTT-domain.
+// Bit-identical to the sequential loop of per-limb MulAddLazy sweeps with a
+// closing canonicalization, which is what the scalar fallback path runs.
+func (r *Ring) MulCoeffsAddBatch(as, bs, accs []*Poly) {
+	if len(as) != len(bs) || len(as) != len(accs) {
+		panic("ring: MulCoeffsAddBatch length mismatch")
+	}
+	for i := range as {
+		if !as[i].IsNTT || !bs[i].IsNTT || !accs[i].IsNTT {
+			panic("ring: MulCoeffsAddBatch requires NTT-domain operands")
+		}
+	}
+	limbs := 0
+	for i := range as {
+		if l := batchLevel(as[i], bs[i], accs[i]) + 1; l > limbs {
+			limbs = l
+		}
+	}
+	ForEachLimbTile(limbs, batchTiles(len(as)), func(limb, tile int) {
+		m := r.Tables[limb].Mod
+		lo, hi := tileBounds(tile, len(as))
+		for i := lo; i < hi; i++ {
+			if limb > batchLevel(as[i], bs[i], accs[i]) {
+				continue
+			}
+			m.MulAddRowLazy(accs[i].Coeffs[limb], as[i].Coeffs[limb], bs[i].Coeffs[limb])
+			ReduceFinalVec(accs[i].Coeffs[limb], m.Q)
+		}
+	})
+}
+
+// AutomorphismNTTBatch applies one precomputed τ_k index permutation to every
+// polynomial of the batch: outs[i] gets the image of ins[i]. The permutation
+// is the batch's shared state — within a tile it is walked once, each index
+// load feeding a gather across all rows, instead of one full perm sweep per
+// polynomial. ins[i] and outs[i] must not alias. Bit-identical to per-pair
+// AutomorphismNTT calls.
+func (r *Ring) AutomorphismNTTBatch(ins []*Poly, perm []int, outs []*Poly) {
+	if len(ins) != len(outs) {
+		panic("ring: AutomorphismNTTBatch length mismatch")
+	}
+	for _, p := range ins {
+		if !p.IsNTT {
+			panic("ring: AutomorphismNTT requires NTT domain")
+		}
+	}
+	limbs := 0
+	for i := range ins {
+		lvl := ins[i].Level()
+		if outs[i].Level() < lvl {
+			lvl = outs[i].Level()
+		}
+		if lvl+1 > limbs {
+			limbs = lvl + 1
+		}
+	}
+	ForEachLimbTile(limbs, batchTiles(len(ins)), func(limb, tile int) {
+		lo, hi := tileBounds(tile, len(ins))
+		src := make([][]uint64, 0, batchTileRows)
+		dst := make([][]uint64, 0, batchTileRows)
+		for i := lo; i < hi; i++ {
+			lvl := ins[i].Level()
+			if outs[i].Level() < lvl {
+				lvl = outs[i].Level()
+			}
+			if limb <= lvl {
+				src = append(src, ins[i].Coeffs[limb])
+				dst = append(dst, outs[i].Coeffs[limb])
+			}
+		}
+		for j, pj := range perm {
+			for rr := range dst {
+				dst[rr][j] = src[rr][pj]
+			}
+		}
+	})
+	for _, out := range outs {
+		out.IsNTT = true
+	}
+}

@@ -1,0 +1,66 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchBatchSetup builds a 6-limb N=2^14 ring — the Hydra residue shape a
+// mid-depth ciphertext occupies — and batch random polynomials for it.
+func benchBatchSetup(b *testing.B, batch int) (*Ring, []*Poly) {
+	b.Helper()
+	n := 1 << 14
+	r, err := NewRing(n, GenerateNTTPrimes(55, n, 6))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(int64(batch)))
+	ps := make([]*Poly, batch)
+	for i := range ps {
+		p := r.NewPoly(r.MaxLevel())
+		for j, q := range r.Moduli {
+			copy(p.Coeffs[j], randomCoeffs(rng, n, q))
+		}
+		ps[i] = p
+	}
+	b.SetBytes(int64(batch * len(r.Moduli) * n * 8))
+	return r, ps
+}
+
+// benchNTTBatch measures a full forward+inverse round trip per iteration so
+// the polynomials return to their starting domain: ns/op covers 2·batch·limbs
+// transforms through the batch entry points (generated kernels, tiled
+// dispatch, one pooled scratch row shared across the batch).
+func benchNTTBatch(b *testing.B, batch int) {
+	r, ps := benchBatchSetup(b, batch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.NTTBatch(ps...)
+		r.INTTBatch(ps...)
+	}
+}
+
+// benchNTTPerCiphertext is the pre-batch baseline the tiling is measured
+// against: per-ciphertext dispatch through the generic merged kernels
+// (SetGeneratedNTT(false)), one Ring.NTT/INTT call per polynomial.
+func benchNTTPerCiphertext(b *testing.B, batch int) {
+	r, ps := benchBatchSetup(b, batch)
+	r.SetGeneratedNTT(false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range ps {
+			r.NTT(p)
+		}
+		for _, p := range ps {
+			r.INTT(p)
+		}
+	}
+}
+
+func BenchmarkNTTBatch1_16384(b *testing.B)  { benchNTTBatch(b, 1) }
+func BenchmarkNTTBatch8_16384(b *testing.B)  { benchNTTBatch(b, 8) }
+func BenchmarkNTTBatch32_16384(b *testing.B) { benchNTTBatch(b, 32) }
+
+func BenchmarkNTTPerCt1_16384(b *testing.B)  { benchNTTPerCiphertext(b, 1) }
+func BenchmarkNTTPerCt8_16384(b *testing.B)  { benchNTTPerCiphertext(b, 8) }
+func BenchmarkNTTPerCt32_16384(b *testing.B) { benchNTTPerCiphertext(b, 32) }

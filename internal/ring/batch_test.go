@@ -1,0 +1,219 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Batch-vs-per-polynomial differential pins: every batch entry point must be
+// bit-identical to the sequential loop over its scalar counterpart, for every
+// shipped degree and for batch shapes that exercise partial tiles (1, 3),
+// one exact tile (8), and a ragged multi-tile batch (17). ci.sh runs this
+// package under -race, so the (limb × tile) fan-out is also raced here.
+
+var batchShapes = []int{1, 3, 8, 17}
+
+func batchTestLogNs() []int {
+	if testing.Short() {
+		return []int{10, 11, 12, 13, 14}
+	}
+	return ShippedKernelLogNs
+}
+
+func randomBatch(r *Ring, rng *rand.Rand, b int, ntt bool) []*Poly {
+	ps := make([]*Poly, b)
+	for i := range ps {
+		// Mixed levels across the batch: limbs past a poly's level must be
+		// skipped, not touched.
+		lvl := r.MaxLevel() - i%2
+		p := r.NewPoly(lvl)
+		for limb := 0; limb <= lvl; limb++ {
+			q := r.Moduli[limb]
+			for j := range p.Coeffs[limb] {
+				p.Coeffs[limb][j] = rng.Uint64() % q
+			}
+		}
+		p.IsNTT = ntt
+		ps[i] = p
+	}
+	return ps
+}
+
+func clonePolys(ps []*Poly) []*Poly {
+	out := make([]*Poly, len(ps))
+	for i, p := range ps {
+		out[i] = p.CopyNew()
+	}
+	return out
+}
+
+func assertBatchEqual(t *testing.T, want, got []*Poly, op string, logN, b int) {
+	t.Helper()
+	for i := range want {
+		if !want[i].Equal(got[i]) {
+			t.Fatalf("logN=%d batch=%d %s: polynomial %d diverged from per-poly path", logN, b, op, i)
+		}
+		if want[i].IsNTT != got[i].IsNTT {
+			t.Fatalf("logN=%d batch=%d %s: polynomial %d IsNTT flag diverged", logN, b, op, i)
+		}
+	}
+}
+
+func TestNTTBatchMatchesPerPoly(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, logN := range batchTestLogNs() {
+		n := 1 << logN
+		r, err := NewRing(n, GenerateNTTPrimes(45, n, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range batchShapes {
+			ps := randomBatch(r, rng, b, false)
+			ref := clonePolys(ps)
+
+			r.NTTBatch(ps...)
+			for _, p := range ref {
+				r.NTT(p)
+			}
+			assertBatchEqual(t, ref, ps, "NTTBatch", logN, b)
+
+			r.INTTBatch(ps...)
+			for _, p := range ref {
+				r.INTT(p)
+			}
+			assertBatchEqual(t, ref, ps, "INTTBatch", logN, b)
+		}
+	}
+}
+
+// The batch NTT must agree with the per-poly path whichever kernel family is
+// live, including the generic fallback a >GeneratedQBound modulus forces.
+func TestNTTBatchMatchesPerPolyGenericKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	n := 1 << 12
+	r, err := NewRing(n, GenerateNTTPrimes(45, n, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetGeneratedNTT(false)
+	for _, b := range batchShapes {
+		ps := randomBatch(r, rng, b, false)
+		ref := clonePolys(ps)
+		r.NTTBatch(ps...)
+		for _, p := range ref {
+			r.NTT(p)
+		}
+		assertBatchEqual(t, ref, ps, "NTTBatch/generic", 12, b)
+		r.INTTBatch(ps...)
+		for _, p := range ref {
+			r.INTT(p)
+		}
+		assertBatchEqual(t, ref, ps, "INTTBatch/generic", 12, b)
+	}
+}
+
+func TestMulCoeffsBatchMatchesPerPoly(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	n := 1 << 11
+	r, err := NewRing(n, GenerateNTTPrimes(45, n, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batchShapes {
+		as := randomBatch(r, rng, b, true)
+		bs := randomBatch(r, rng, b, true)
+		outs := randomBatch(r, rng, b, true)
+		ref := clonePolys(outs)
+
+		r.MulCoeffsBatch(as, bs, outs)
+		for i := range ref {
+			r.MulCoeffs(as[i], bs[i], ref[i])
+		}
+		assertBatchEqual(t, ref, outs, "MulCoeffsBatch", 11, b)
+	}
+}
+
+func TestMulCoeffsAddBatchMatchesScalarMAC(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	n := 1 << 11
+	r, err := NewRing(n, GenerateNTTPrimes(45, n, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batchShapes {
+		as := randomBatch(r, rng, b, true)
+		bs := randomBatch(r, rng, b, true)
+		accs := randomBatch(r, rng, b, true)
+		ref := clonePolys(accs)
+
+		r.MulCoeffsAddBatch(as, bs, accs)
+		for i := range ref {
+			lvl := batchLevel(as[i], bs[i], ref[i])
+			for limb := 0; limb <= lvl; limb++ {
+				m := r.Tables[limb].Mod
+				m.MulAddRowLazy(ref[i].Coeffs[limb], as[i].Coeffs[limb], bs[i].Coeffs[limb])
+				ReduceFinalVec(ref[i].Coeffs[limb], m.Q)
+			}
+		}
+		assertBatchEqual(t, ref, accs, "MulCoeffsAddBatch", 11, b)
+	}
+}
+
+func TestAutomorphismNTTBatchMatchesPerPoly(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	n := 1 << 11
+	r, err := NewRing(n, GenerateNTTPrimes(45, n, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []uint64{GaloisElementForRotation(n, 1), GaloisElementForRotation(n, -3), GaloisElementConjugate(n)} {
+		perm := AutomorphismNTTIndex(n, k)
+		for _, b := range batchShapes {
+			ins := randomBatch(r, rng, b, true)
+			outs := randomBatch(r, rng, b, true)
+			ref := clonePolys(outs)
+
+			r.AutomorphismNTTBatch(ins, perm, outs)
+			for i := range ref {
+				r.AutomorphismNTT(ins[i], perm, ref[i])
+			}
+			assertBatchEqual(t, ref, outs, "AutomorphismNTTBatch", 11, b)
+		}
+	}
+}
+
+func TestMulAddRowLazyBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	n := 1 << 10
+	q := GenerateNTTPrimes(45, n, 1)[0]
+	m := NewModulus(q)
+	for _, b := range batchShapes {
+		key := make([]uint64, n)
+		for j := range key {
+			key[j] = rng.Uint64() % q
+		}
+		accs := make([][]uint64, b)
+		xs := make([][]uint64, b)
+		ref := make([][]uint64, b)
+		for i := 0; i < b; i++ {
+			accs[i] = make([]uint64, n)
+			xs[i] = make([]uint64, n)
+			for j := 0; j < n; j++ {
+				accs[i][j] = rng.Uint64() % (2 * q) // lazy-domain accumulator
+				xs[i][j] = rng.Uint64() % (2 * q)
+			}
+			ref[i] = append([]uint64(nil), accs[i]...)
+		}
+		m.MulAddRowLazyBatch(accs, xs, key)
+		for i := 0; i < b; i++ {
+			m.MulAddRowLazy(ref[i], xs[i], key)
+		}
+		for i := 0; i < b; i++ {
+			for j := 0; j < n; j++ {
+				if accs[i][j] != ref[i][j] {
+					t.Fatalf("batch=%d: acc[%d][%d]=%d want %d", b, i, j, accs[i][j], ref[i][j])
+				}
+			}
+		}
+	}
+}

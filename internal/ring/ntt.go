@@ -1,5 +1,7 @@
 package ring
 
+import "sync"
+
 // NTTTable holds the precomputed twiddle factors for the negacyclic
 // number-theoretic transform of length N modulo a prime q ≡ 1 (mod 2N).
 //
@@ -68,6 +70,16 @@ type NTTTable struct {
 	// hoisting paths that call the tables directly) runs on the reference
 	// kernels. Differential-testing hook; see SetReference.
 	reference bool
+
+	// useGenerated routes Forward/Inverse through the codegen-specialized
+	// kernels emitted by cmd/hydra-genkernels (see gendispatch.go). On by
+	// default when the degree ships a kernel and q < GeneratedQBound;
+	// SetGenerated(false) recovers the generic merged kernel. reference
+	// takes precedence.
+	useGenerated bool
+	// genScratch pools the N-word ping-pong rows the generated kernels use
+	// to fuse the bit-reverse permutation into a butterfly pass.
+	genScratch *sync.Pool
 }
 
 // NewNTTTable builds the tables for length n (a power of two ≥ 2) and prime
@@ -122,6 +134,7 @@ func NewNTTTable(n int, q, psi uint64) *NTTTable {
 	t.nInvShoup = ShoupPrecomp(nInv, q)
 	t.invLastW = MulMod(t.psiInvMerged[1], nInv, q)
 	t.invLastWShoup = ShoupPrecomp(t.invLastW, q)
+	t.initGenerated()
 	return t
 }
 
@@ -193,6 +206,10 @@ func (t *NTTTable) Forward(a []uint64) {
 		t.ForwardReference(a)
 		return
 	}
+	if t.useGenerated {
+		t.forwardGenerated(a)
+		return
+	}
 	t.forwardMergedLazy(a)
 	t.finishForward(a)
 }
@@ -204,6 +221,10 @@ func (t *NTTTable) Forward(a []uint64) {
 func (t *NTTTable) Inverse(a []uint64) {
 	if t.reference {
 		t.InverseReference(a)
+		return
+	}
+	if t.useGenerated {
+		t.inverseGenerated(a)
 		return
 	}
 	t.bitReverse(a)

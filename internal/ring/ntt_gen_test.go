@@ -1,0 +1,103 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Differential pin for the codegen-specialized kernels: for every shipped
+// degree, the generated forward/inverse must produce bit-identical canonical
+// output to both the generic merged kernel and the O(N log N) reference
+// schoolbook kernel, from canonical and from lazy (< 4q) inputs. Any
+// divergence localizes an emission bug in cmd/hydra-genkernels to a specific
+// (LogN parity, direction) template.
+
+func genTestLogNs(t *testing.T) []int {
+	if testing.Short() {
+		return []int{10, 11, 12, 13, 14}
+	}
+	return ShippedKernelLogNs
+}
+
+func TestGeneratedKernelMatchesGenericAndReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x9e3779b9))
+	for _, logN := range genTestLogNs(t) {
+		n := 1 << logN
+		for _, logQ := range []int{45, 55} {
+			q := GenerateNTTPrimes(logQ, n, 1)[0]
+			tbl := NewNTTTable(n, q, PrimitiveRoot2N(n, q))
+			if !tbl.GeneratedAvailable() {
+				t.Fatalf("logN=%d logQ=%d: generated kernel not available", logN, logQ)
+			}
+			for trial := 0; trial < 4; trial++ {
+				lazy := trial%2 == 1
+				for _, dir := range []string{"forward", "inverse"} {
+					// Forward documents tolerance for lazy input (< 4q);
+					// Inverse's contract is canonical input.
+					bound := q
+					if lazy && dir == "forward" {
+						bound = 4 * q
+					}
+					in := make([]uint64, n)
+					for i := range in {
+						in[i] = rng.Uint64() % bound
+					}
+					gen := append([]uint64(nil), in...)
+					gns := append([]uint64(nil), in...)
+					ref := append([]uint64(nil), in...)
+
+					tbl.SetGenerated(true)
+					run(tbl, dir, gen)
+					tbl.SetGenerated(false)
+					run(tbl, dir, gns)
+					tbl.SetReference(true)
+					run(tbl, dir, ref)
+					tbl.SetReference(false)
+					tbl.SetGenerated(true)
+
+					for i := range gen {
+						if gen[i] != gns[i] {
+							t.Fatalf("logN=%d logQ=%d trial=%d %s: generated[%d]=%d generic=%d", logN, logQ, trial, dir, i, gen[i], gns[i])
+						}
+						if gen[i] != ref[i] {
+							t.Fatalf("logN=%d logQ=%d trial=%d %s: generated[%d]=%d reference=%d", logN, logQ, trial, dir, i, gen[i], ref[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func run(tbl *NTTTable, dir string, a []uint64) {
+	if dir == "forward" {
+		tbl.Forward(a)
+	} else {
+		tbl.Inverse(a)
+	}
+}
+
+// A modulus at or above GeneratedQBound must fall back to the generic kernel
+// rather than run the correction-free schedule out of headroom.
+func TestGeneratedKernelQBoundFallback(t *testing.T) {
+	n := 1 << 12
+	q := GenerateNTTPrimes(58, n, 1)[0]
+	tbl := NewNTTTable(n, q, PrimitiveRoot2N(n, q))
+	if tbl.GeneratedAvailable() {
+		t.Fatalf("logQ=58 table reports generated kernel available (bound %d)", GeneratedQBound)
+	}
+	tbl.SetGenerated(true) // must stay a no-op
+	in := make([]uint64, n)
+	rng := rand.New(rand.NewSource(7))
+	for i := range in {
+		in[i] = rng.Uint64() % q
+	}
+	got := append([]uint64(nil), in...)
+	tbl.Forward(got)
+	tbl.Inverse(got)
+	for i := range got {
+		if got[i] != in[i] {
+			t.Fatalf("round trip diverged at %d", i)
+		}
+	}
+}

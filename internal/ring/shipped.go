@@ -1,0 +1,34 @@
+package ring
+
+// Shipped parameter sets.
+//
+// The serving fleet runs a fixed catalogue of CKKS parameter sets; the NTT
+// kernels for those sets are specialized ahead of time by cmd/hydra-genkernels
+// (see gendispatch.go for how the emitted kernels register themselves and how
+// Forward/Inverse dispatch to them). Everything the generator needs to know —
+// which ring degrees ship, and up to which modulus size the correction-free
+// forward schedule is safe — lives here, so this file is the single source of
+// truth for both the generator and the runtime gate.
+
+//go:generate go run ../../cmd/hydra-genkernels -out ntt_gen.go
+
+// ShippedKernelLogNs lists the ring degrees (log2 N) that ship with
+// codegen-specialized NTT kernels. cmd/hydra-genkernels reads this list out
+// of the package source (go/ast) and emits one forward/inverse kernel pair
+// per entry into ntt_gen.go; NewNTTTable selects the specialized pair
+// automatically for these degrees when the modulus passes GeneratedQBound.
+//
+// The range matches the shipped CKKS catalogue: LogN 10–13 cover the
+// conformance corpus and test parameters, 14–16 the production depths.
+var ShippedKernelLogNs = []int{10, 11, 12, 13, 14, 15, 16}
+
+// GeneratedQBound gates the specialized kernels by modulus size. The
+// generated forward network is correction-free: Shoup's lazy product lies in
+// [0, 2q) for any 64-bit multiplicand (its error term is w·2^64 mod q < q
+// regardless of x), so the butterflies skip the per-stage conditional
+// corrections and let values grow by at most 2q per stage, canonicalizing
+// once in the closing scatter. Starting from lazy input (< 4q) the peak is
+// (4 + 2·LogN)·q ≤ 36q at LogN 16, so any q < 2^56 keeps the whole schedule
+// below 2^62. Shipped moduli are 45–55 bits; tables whose modulus exceeds
+// the bound fall back to the generic merged kernel.
+const GeneratedQBound uint64 = 1 << 56

@@ -32,6 +32,12 @@ cd "$(dirname "$0")/.."
 BENCH_DIR=${BENCH_DIR:-.}
 BENCHTIME=${BENCHTIME:-1s}
 SUITE=all
+# Provenance header stamped into every BENCH_*.json: the commit the numbers
+# were measured at and the UTC wall time of the run. hydra-serve picks the
+# same values up from the environment so all four files agree.
+GIT_SHA=${BENCH_GIT_SHA:-$(git rev-parse HEAD 2>/dev/null || echo unknown)}
+UTC_TIME=${BENCH_UTC_TIME:-$(date -u +%Y-%m-%dT%H:%M:%SZ)}
+export BENCH_GIT_SHA="$GIT_SHA" BENCH_UTC_TIME="$UTC_TIME"
 # Measured defaults: two fleet sizes spanning one server and four, an arrival
 # rate that queues the small fleet without melting it, and a dilation scaling
 # the simulated makespans into a few-second wall-clock run.
@@ -68,7 +74,7 @@ run_suite() {
 	go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" \
 		"$PKG" | tee "$RAW"
 
-	awk -v benchtime="$BENCHTIME" '
+	awk -v benchtime="$BENCHTIME" -v gitsha="$GIT_SHA" -v utctime="$UTC_TIME" '
 /^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
 /^goos:/ { goos = $2 }
 /^goarch:/ { goarch = $2 }
@@ -90,6 +96,8 @@ run_suite() {
 }
 END {
 	print "{"
+	printf "  \"git_sha\": \"%s\",\n", gitsha
+	printf "  \"utc_time\": \"%s\",\n", utctime
 	printf "  \"goos\": \"%s\",\n", goos
 	printf "  \"goarch\": \"%s\",\n", goarch
 	printf "  \"cpu\": \"%s\",\n", cpu
@@ -110,7 +118,7 @@ run_suite \
 	./internal/ring/ "$BENCH_DIR/BENCH_ring.json"
 
 run_suite \
-	'^(BenchmarkCMultRelin|BenchmarkCMultParallel|BenchmarkRotationsDirect|BenchmarkRotationsHoisted)' \
+	'^(BenchmarkCMultRelin|BenchmarkCMultParallel|BenchmarkRotationsDirect|BenchmarkRotationsHoisted|BenchmarkKeySwitch)' \
 	./internal/ckks/ "$BENCH_DIR/BENCH_ckks.json"
 
 run_suite \

@@ -42,6 +42,17 @@ fi
 echo "== hydra-lint self-check (the linter's own code must be clean)"
 go run ./cmd/hydra-lint ./internal/lint/... ./cmd/...
 
+echo "== generated-kernel freshness (go generate ./... must be a no-op)"
+# The specialized NTT kernels in internal/ring/ntt_gen.go are emitted by
+# cmd/hydra-genkernels from the shipped parameter list; a checked-in copy
+# that drifts from what the generator emits means someone edited generated
+# code by hand or changed the generator without regenerating.
+go generate ./...
+if ! git diff --exit-code -- '*.go'; then
+	echo "ci: generated code is stale: run 'go generate ./...' and commit the result" >&2
+	exit 1
+fi
+
 echo "== go test -race (pool + evaluator + runtimes + serving layer)"
 go test -race "$@" \
 	./internal/ring/... \
