@@ -42,6 +42,12 @@ type CardProfile struct {
 	PowerBudgetW  float64 // TDP-style bound (reporting only)
 	HasDTU        bool    // Hydra-S omits the DTU
 	KeySwitchDnum int     // digits used by this card's key-switch datapath
+
+	// BatchAmortFrac is the fraction of a single run's time that batching
+	// amortizes away (pipeline fill, evaluation-key loads, per-limb setup):
+	// a batch of b interchangeable jobs takes t*(a + (1-a)*b) instead of
+	// t*b. Zero disables amortization — a batch of b costs b private runs.
+	BatchAmortFrac float64
 }
 
 // Validate checks the profile.
@@ -54,6 +60,9 @@ func (c CardProfile) Validate() error {
 	}
 	if c.Calibration <= 0 {
 		return fmt.Errorf("hw: profile %q calibration must be positive", c.Name)
+	}
+	if c.BatchAmortFrac < 0 || c.BatchAmortFrac >= 1 {
+		return fmt.Errorf("hw: profile %q batch amortization %v out of [0,1)", c.Name, c.BatchAmortFrac)
 	}
 	return nil
 }

@@ -100,6 +100,11 @@ func (b *ClusterBackend) Run(ctx context.Context, job *Job, pl sim.Placement) (*
 	if job.BuildCluster == nil {
 		return nil, fmt.Errorf("cluster backend: job %s has no cluster builder", job.ID)
 	}
+	if pl.Batch > 1 {
+		// The functional cluster executes one job's data; it has no batched
+		// datapath to amortize over. Serve with CoalesceLimit <= 1.
+		return nil, fmt.Errorf("cluster backend: job %s: batched grants (batch=%d) are not executable functionally", job.ID, pl.Batch)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

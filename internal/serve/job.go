@@ -31,6 +31,16 @@ type Job struct {
 	// EstCost is the job's estimated execution time in seconds. Left zero,
 	// the server fills it from Config.Estimator.
 	EstCost float64
+	// BatchKey names the job's continuous-batching compatibility class.
+	// Jobs sharing a non-empty key MUST be interchangeable work: identical
+	// program shape, parameters and card demand, so that any of them can
+	// execute as one batched run of the leader's program (sim prices the
+	// batch via Placement.Batch). The scheduler then coalesces queued
+	// same-key jobs onto one card grant, and hands a finishing grant's
+	// cards straight to the next same-key job instead of bouncing them
+	// through the free list. An empty key (the zero value) opts out: the
+	// job always gets a private grant.
+	BatchKey string
 
 	// Build materializes the job's task program for a grant of the given
 	// size (cards numbered 0..cards-1; the scheduler supplies the physical

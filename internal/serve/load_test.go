@@ -214,3 +214,100 @@ func TestSaturationShedsLoad(t *testing.T) {
 	s.Close()
 	checkNoGoroutineLeak(t, base)
 }
+
+// TestFleetScaleLoad drives 10^4 jobs through a 1024-card server with
+// continuous batching on — the fleet-scale certification of the indexed
+// scheduler. Arrivals land through SubmitBatch in bursts (one lock
+// acquisition per burst), every admitted job must terminate, the grant
+// accounting must balance exactly (completed = grants + coalesced riders),
+// and after Close the process must hold no serving goroutines. Run under
+// -race this doubles as the concurrency audit of the heap/bitmap hot path.
+func TestFleetScaleLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet-scale load test skipped in -short")
+	}
+	base := stdruntime.NumGoroutine()
+
+	const (
+		jobs      = 10000
+		burst     = 512
+		fleetSize = 1024
+	)
+	s, err := New(Config{
+		Fleet:         hw.Fleet{Cards: fleetSize, CardsPerServer: 8},
+		Backend:       &SimBackend{Cfg: sim.HydraConfig()}, // dilation 0: pure scheduler stress
+		QueueDepth:    jobs + 1,
+		CoalesceLimit: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type shape struct {
+		name  string
+		cards int
+		key   string // empty = private grants, exercising the no-batch path
+	}
+	shapes := []shape{{"conv", 2, "conv"}, {"bsgs", 4, "bsgs"}, {"boot", 8, ""}}
+
+	tickets := make([]*Ticket, 0, jobs)
+	peak := 0
+	for lo := 0; lo < jobs; lo += burst {
+		hi := lo + burst
+		if hi > jobs {
+			hi = jobs
+		}
+		batch := make([]*Job, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			sh := shapes[i%len(shapes)]
+			batch = append(batch, &Job{
+				ID:       fmt.Sprintf("fleet-%05d", i),
+				Cards:    sh.cards,
+				BatchKey: sh.key,
+				Build:    tinyBuild,
+			})
+		}
+		tks, errs := s.SubmitBatch(batch)
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("burst submit %d+%d: %v", lo, i, err)
+			}
+		}
+		tickets = append(tickets, tks...)
+		if n := stdruntime.NumGoroutine(); n > peak {
+			peak = n
+		}
+	}
+
+	for i, tk := range tickets {
+		if _, err := tk.Wait(context.Background()); err != nil {
+			t.Fatalf("job %d failed: %v", i, err)
+		}
+	}
+	s.Drain()
+
+	snap := s.Metrics().Snapshot()
+	if snap.Submitted != jobs || snap.Completed != jobs {
+		t.Errorf("submitted %d / completed %d, want %d", snap.Submitted, snap.Completed, jobs)
+	}
+	if snap.Queued != 0 || snap.Running != 0 || snap.CardsBusy != 0 {
+		t.Errorf("gauges not drained: queued=%d running=%d cardsBusy=%d", snap.Queued, snap.Running, snap.CardsBusy)
+	}
+	// Every job left the queue on exactly one grant round: as a leader
+	// (grants) or as a rider (coalesced).
+	if snap.Grants+snap.Coalesced != jobs {
+		t.Errorf("grant accounting: grants %d + coalesced %d != %d jobs", snap.Grants, snap.Coalesced, jobs)
+	}
+	if snap.Coalesced == 0 {
+		t.Error("a keyed 10^4-job stream through 1024 cards should coalesce")
+	}
+	if snap.Refills == 0 {
+		t.Error("sustained same-shape pressure should refill finishing grants")
+	}
+	if peak <= base {
+		t.Errorf("load never ran concurrently: peak goroutines %d, baseline %d", peak, base)
+	}
+
+	s.Close()
+	checkNoGoroutineLeak(t, base)
+}

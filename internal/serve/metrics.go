@@ -27,9 +27,13 @@ type Metrics struct {
 	rejected  int64 // shed at admission (overload or closed)
 	expired   int64 // shed by deadline (at admission or in queue)
 
+	grants    int64 // card grants issued (a grant may carry several jobs)
+	coalesced int64 // jobs that rode a shared grant beyond its leader
+	refills   int64 // grants handed straight to a queued job, no free-list bounce
+
 	queued    int // gauge: jobs waiting
-	running   int // gauge: jobs executing
-	cardsBusy int // gauge: cards granted to running jobs
+	running   int // gauge: grants executing (== jobs when nothing coalesces)
+	cardsBusy int // gauge: cards granted to running grants
 
 	queueWait []float64 // seconds
 	exec      []float64 // seconds
@@ -62,32 +66,65 @@ func (m *Metrics) expireQueued() {
 	m.mu.Unlock()
 }
 
-func (m *Metrics) start(cards int, wait time.Duration) {
+// startGrant records a fresh grant leaving the dispatcher: cards move from
+// the free pool to busy, and every job on the grant (leader plus riders)
+// leaves the queue with its own wait sample.
+func (m *Metrics) startGrant(cards int, waits []time.Duration) {
 	m.mu.Lock()
-	m.queued--
+	m.queued -= len(waits)
 	m.running++
 	m.cardsBusy += cards
-	if len(m.queueWait) < maxSamples {
-		m.queueWait = append(m.queueWait, wait.Seconds())
+	m.grants++
+	m.coalesced += int64(len(waits) - 1)
+	for _, w := range waits {
+		if len(m.queueWait) < maxSamples {
+			m.queueWait = append(m.queueWait, w.Seconds())
+		}
 	}
 	m.mu.Unlock()
 }
 
-func (m *Metrics) finish(cards int, elapsed time.Duration, err error) {
+// refillGrant records a running grant picking up its next batch of queued
+// jobs without releasing its cards. cardsReleased is the trimmed surplus
+// when the refill demand is narrower than the grant.
+func (m *Metrics) refillGrant(cardsReleased int, waits []time.Duration) {
 	m.mu.Lock()
-	m.running--
-	m.cardsBusy -= cards
+	m.queued -= len(waits)
+	m.cardsBusy -= cardsReleased
+	m.grants++
+	m.refills++
+	m.coalesced += int64(len(waits) - 1)
+	for _, w := range waits {
+		if len(m.queueWait) < maxSamples {
+			m.queueWait = append(m.queueWait, w.Seconds())
+		}
+	}
+	m.mu.Unlock()
+}
+
+// jobsDone records the outcome of one grant execution round for its jobs
+// batch; the grant (and its cards) may live on through a refill.
+func (m *Metrics) jobsDone(jobs int, elapsed time.Duration, err error) {
+	m.mu.Lock()
 	switch {
 	case err == nil:
-		m.completed++
-		if len(m.exec) < maxSamples {
+		m.completed += int64(jobs)
+		for i := 0; i < jobs && len(m.exec) < maxSamples; i++ {
 			m.exec = append(m.exec, elapsed.Seconds())
 		}
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		m.canceled++
+		m.canceled += int64(jobs)
 	default:
-		m.failed++
+		m.failed += int64(jobs)
 	}
+	m.mu.Unlock()
+}
+
+// endGrant retires a grant: its remaining cards return to the free pool.
+func (m *Metrics) endGrant(cards int) {
+	m.mu.Lock()
+	m.running--
+	m.cardsBusy -= cards
 	m.mu.Unlock()
 }
 
@@ -99,6 +136,10 @@ type Snapshot struct {
 	Canceled  int64 `json:"canceled"`
 	Rejected  int64 `json:"rejected"`
 	Expired   int64 `json:"expired"`
+
+	Grants    int64 `json:"grants"`
+	Coalesced int64 `json:"coalesced"`
+	Refills   int64 `json:"refills"`
 
 	Queued    int `json:"queued"`
 	Running   int `json:"running"`
@@ -121,6 +162,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		Canceled:  m.canceled,
 		Rejected:  m.rejected,
 		Expired:   m.expired,
+		Grants:    m.grants,
+		Coalesced: m.coalesced,
+		Refills:   m.refills,
 		Queued:    m.queued,
 		Running:   m.running,
 		CardsBusy: m.cardsBusy,

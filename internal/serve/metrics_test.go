@@ -56,12 +56,13 @@ func TestSnapshotPercentilesFromLifecycle(t *testing.T) {
 	// rising linearly 1..100ms.
 	for i := 1; i <= 100; i++ {
 		m.admit()
-		m.start(2, time.Duration(i)*time.Millisecond)
+		m.startGrant(2, []time.Duration{time.Duration(i) * time.Millisecond})
 		exec := 10 * time.Millisecond
 		if i == 100 {
 			exec = time.Second
 		}
-		m.finish(2, exec, nil)
+		m.jobsDone(1, exec, nil)
+		m.endGrant(2)
 	}
 	s := m.Snapshot()
 	if s.Submitted != 100 || s.Completed != 100 {
@@ -102,8 +103,9 @@ func TestMetricsConcurrentWriters(t *testing.T) {
 			rng := rand.New(rand.NewSource(seed))
 			for i := 0; i < perWriter; i++ {
 				m.admit()
-				m.start(1, time.Duration(rng.Intn(1000))*time.Microsecond)
-				m.finish(1, time.Duration(rng.Intn(1000))*time.Microsecond, nil)
+				m.startGrant(1, []time.Duration{time.Duration(rng.Intn(1000)) * time.Microsecond})
+				m.jobsDone(1, time.Duration(rng.Intn(1000))*time.Microsecond, nil)
+				m.endGrant(1)
 				if i%100 == 0 {
 					m.Snapshot()
 				}

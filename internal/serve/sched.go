@@ -1,0 +1,71 @@
+package serve
+
+// This file is the policy core shared by the live Server (serve.go) and the
+// virtual-time fleet replayer (replay.go): both make their grant decisions
+// through dispatchPass and their completion-time reuse decisions through
+// admitQueue.popRefill, so the saturation curves the replayer produces are
+// curves of the very scheduler the live server runs.
+
+// decision is one grant produced by a dispatch pass: a leader job, the
+// compatible riders coalesced onto its grant, the physical card set, and
+// whether the grant is a backfill past a better-ranked job that did not fit.
+type decision struct {
+	lead     *pending
+	riders   []*pending // same batch key and card demand as lead; may be nil
+	cards    []int
+	backfill bool
+}
+
+// jobs returns the grant's job count (leader plus riders).
+func (d *decision) jobs() int { return 1 + len(d.riders) }
+
+// dispatchPass drains the admission queue onto the free cards in rank order,
+// with backfill and continuous-batching coalescing, and returns every grant
+// the free cards allow. One pass makes all decisions: the queue's rank heap
+// is popped exactly once per entry (granted entries leave, non-fitting
+// entries are pushed back at the end), so a full pass is O(n log n) against
+// the old O(n) scan per grant — and the fitsAny probe makes the saturated
+// no-op pass O(1).
+//
+// coalesce bounds the jobs per grant: <= 1 grants per-job (the ablation
+// baseline), k > 1 additionally pops up to k-1 riders sharing the leader's
+// batch key and exact card demand — but only when the fleet is starved for
+// that demand. A batch of b dilates the grant to t*(a + (1-a)*b), so riding
+// is a win only when the rider could not get cards of its own: if, after the
+// leader's allocation, another same-demand grant still fits, the would-be
+// rider stays queued and the pass grants it in parallel on idle cards
+// instead. Without the gate, a burst into a large, mostly-idle fleet
+// serializes onto few grants and throughput drops below the per-job
+// baseline. Riders can never collide with the skipped set: a skipped entry
+// demands strictly more cards than were free when it was skipped, hence
+// strictly more than any later leader's demand.
+func dispatchPass(q *admitQueue, f *freeList, coalesce int) []decision {
+	q.init()
+	var out []decision
+	var skipped []*pending
+	// Invariant: the demand index covers heap ∪ skipped, and every skipped
+	// entry demands more than f.len(); so while fitsAny holds, a fitting
+	// entry exists in the heap and the inner pop loop terminates on it.
+	for q.fitsAny(f.len()) {
+		var top *pending
+		for {
+			top = q.rank.pop()
+			if top.job.Cards <= f.len() {
+				break
+			}
+			skipped = append(skipped, top)
+		}
+		q.detach(top)
+		d := decision{lead: top, backfill: len(skipped) > 0}
+		starved := f.len()-top.job.Cards < top.job.Cards
+		if coalesce > 1 && top.job.BatchKey != "" && starved {
+			d.riders = q.popRiders(top.job.BatchKey, top.job.Cards, coalesce-1)
+		}
+		d.cards = f.take(top.job.Cards)
+		out = append(out, d)
+	}
+	for _, s := range skipped {
+		q.rank.push(s)
+	}
+	return out
+}

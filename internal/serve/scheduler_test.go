@@ -104,7 +104,7 @@ func TestDispatchTranscriptGolden(t *testing.T) {
 	arrivals = arrivals[:6]
 
 	const cps = 4
-	free := newFreeList(8) // two servers of four
+	free := newFreeList(8, cps) // two servers of four
 	q := &admitQueue{max: 16}
 	var log []string
 	var seq uint64
@@ -116,7 +116,7 @@ func TestDispatchTranscriptGolden(t *testing.T) {
 			if p == nil {
 				return
 			}
-			cards := free.take(p.job.Cards, cps)
+			cards := free.take(p.job.Cards)
 			running[p.job.ID] = cards
 			log = append(log, fmt.Sprintf("start %-10s cards=%v backfill=%v", p.job.ID, cards, backfill))
 		}

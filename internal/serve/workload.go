@@ -86,12 +86,33 @@ type Arrival struct {
 	Job   *Job
 }
 
-// Generate materializes the arrival sequence. It is deterministic for a
-// given Workload value: the same seed yields the same jobs at the same
-// offsets, which the scheduler tests rely on.
+// Generate materializes the arrival sequence over the workload horizon. It
+// is deterministic for a given Workload value: the same seed yields the same
+// jobs at the same offsets, which the scheduler tests rely on.
 func (w Workload) Generate() ([]Arrival, error) {
-	if w.Rate <= 0 || w.Horizon <= 0 {
-		return nil, fmt.Errorf("serve: workload needs a positive rate and horizon")
+	if w.Horizon <= 0 {
+		return nil, fmt.Errorf("serve: workload needs a positive horizon")
+	}
+	return w.generate(-1, w.Horizon)
+}
+
+// GenerateN materializes exactly n arrivals, ignoring the horizon — the
+// saturation sweeps fix the offered-job count per measurement point rather
+// than the wall span, so every point sees the same statistical weight.
+func (w Workload) GenerateN(n int) ([]Arrival, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("serve: workload needs a positive arrival count, got %d", n)
+	}
+	return w.generate(n, 0)
+}
+
+// generate draws the Poisson arrival stream until n arrivals (n >= 0) or the
+// horizon (n < 0) is reached. Each job's BatchKey is its shape name: jobs of
+// one shape run the same builder at the same card demand, which is exactly
+// the interchangeability the continuous-batching contract requires.
+func (w Workload) generate(n int, horizon time.Duration) ([]Arrival, error) {
+	if w.Rate <= 0 {
+		return nil, fmt.Errorf("serve: workload needs a positive rate")
 	}
 	if len(w.Shapes) == 0 {
 		return nil, fmt.Errorf("serve: workload needs at least one shape")
@@ -107,10 +128,13 @@ func (w Workload) Generate() ([]Arrival, error) {
 	var out []Arrival
 	at := time.Duration(0)
 	for i := 0; ; i++ {
+		if n >= 0 && len(out) == n {
+			return out, nil
+		}
 		// Exponential inter-arrival gap of mean 1/Rate.
 		gap := -math.Log(1-rng.Float64()) / w.Rate
 		at += durationOf(gap)
-		if at > w.Horizon {
+		if n < 0 && at > horizon {
 			return out, nil
 		}
 		pick := rng.Float64() * totalW
@@ -131,6 +155,7 @@ func (w Workload) Generate() ([]Arrival, error) {
 				Priority: sh.Priority,
 				Cards:    sh.Cards,
 				Timeout:  sh.Timeout,
+				BatchKey: sh.Name,
 				Build:    sh.Build,
 			},
 		})

@@ -9,8 +9,12 @@
 #   BENCH_ckks.json     CMult/relin, direct vs hoisted vs ext-hoisted rotations
 #   BENCH_hefloat.json  naive/BSGS/reference linear transforms, PCMM(+compiled),
 #                       CCMM, BootstrapSmall serial+parallel
-#   BENCH_serve.json    serving-layer open-loop load replay (cmd/hydra-serve):
-#                       jobs/sec and latency percentiles per fleet size
+#   BENCH_sched.json    scheduler hot-path microbenchmarks: indexed heap/bitmap
+#                       popFit + allocateCards vs their linear-scan baselines
+#   BENCH_serve.json    serving-layer saturation sweep (cmd/hydra-serve -mode
+#                       sweep): jobs/sec, utilization and wait percentiles per
+#                       fleet size per offered load, with the per-job-grant
+#                       coalescing ablation per point
 #
 # EXPERIMENTS.md tables are derived from this output.
 #
@@ -38,14 +42,15 @@ SUITE=all
 GIT_SHA=${BENCH_GIT_SHA:-$(git rev-parse HEAD 2>/dev/null || echo unknown)}
 UTC_TIME=${BENCH_UTC_TIME:-$(date -u +%Y-%m-%dT%H:%M:%SZ)}
 export BENCH_GIT_SHA="$GIT_SHA" BENCH_UTC_TIME="$UTC_TIME"
-# Measured defaults: two fleet sizes spanning one server and four, an arrival
-# rate that queues the small fleet without melting it, and a dilation scaling
-# the simulated makespans into a few-second wall-clock run.
-SERVE_ARGS="-fleets 8,32 -rate 40 -duration 3s -dilation 0.25 -seed 1"
+# Measured defaults: the virtual-time saturation sweep over four fleet sizes
+# spanning one server to 128 servers, 10^4 offered jobs per point, five
+# offered loads bracketing the knee, continuous batching at 8 with the
+# per-job-grant ablation recorded alongside every point.
+SERVE_ARGS="-mode sweep -fleets 8,64,256,1024 -jobs 10000 -loads 0.25,0.5,0.75,1.0,1.25 -coalesce 8 -ablate -seed 1"
 case "${1:-}" in
 smoke)
 	BENCHTIME=1x
-	SERVE_ARGS="-fleets 8,16 -rate 20 -duration 1s -dilation 0.1 -seed 1"
+	SERVE_ARGS="-mode sweep -fleets 8,16 -jobs 500 -loads 0.5,1.0 -coalesce 8 -seed 1"
 	;;
 serve)
 	SUITE=serve
@@ -124,5 +129,9 @@ run_suite \
 run_suite \
 	'^(BenchmarkLinearTransform|BenchmarkPCMM|BenchmarkCCMM|BenchmarkBootstrapSmall)' \
 	./internal/hefloat/ "$BENCH_DIR/BENCH_hefloat.json"
+
+run_suite \
+	'^(BenchmarkPopFit|BenchmarkAllocateCards)' \
+	./internal/serve/ "$BENCH_DIR/BENCH_sched.json"
 
 run_serve

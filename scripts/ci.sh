@@ -93,18 +93,19 @@ echo "== bench harness smoke (1 iteration per benchmark)"
 # measured BENCH_*.json files.
 SMOKE_DIR="$(mktemp -d)"
 BENCH_DIR="$SMOKE_DIR" sh scripts/bench.sh smoke >/dev/null
-for f in BENCH_ring.json BENCH_ckks.json BENCH_hefloat.json BENCH_serve.json; do
+for f in BENCH_ring.json BENCH_ckks.json BENCH_hefloat.json BENCH_sched.json BENCH_serve.json; do
 	[ -s "$SMOKE_DIR/$f" ] || { echo "ci: bench smoke did not write $f" >&2; exit 1; }
 done
 rm -rf "$SMOKE_DIR"
 
-echo "== hydra-serve smoke (1-second open-loop load)"
-# Drives the serving layer end to end — admission, card allocation, backfill,
-# drain — with a short synthetic Poisson replay; validates the report writer
-# without clobbering the checked-in measured BENCH_serve.json.
+echo "== hydra-serve smoke (1-second 1024-card open-loop load, -race)"
+# Drives the live serving layer end to end at fleet scale — batched admission,
+# heap dispatch, bitmap card allocation, continuous batching, drain — under
+# the race detector, with a short synthetic Poisson replay; validates the
+# report writer without clobbering the checked-in measured BENCH_serve.json.
 SERVE_DIR="$(mktemp -d)"
-go run ./cmd/hydra-serve -fleets 8 -rate 20 -duration 1s -dilation 0.1 \
-	-out "$SERVE_DIR/BENCH_serve.json"
+go run -race ./cmd/hydra-serve -mode live -fleets 1024 -rate 300 -duration 1s \
+	-dilation 0.05 -coalesce 8 -queue 2048 -out "$SERVE_DIR/BENCH_serve.json"
 [ -s "$SERVE_DIR/BENCH_serve.json" ] || { echo "ci: hydra-serve smoke wrote no report" >&2; exit 1; }
 rm -rf "$SERVE_DIR"
 
