@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race ci bench bench-json serve-bench fuzz golden-update conformance conformance-update
+.PHONY: all build test lint race ci bench bench-json serve-bench compile-bench fuzz golden-update conformance conformance-update
 
 all: build test
 
@@ -52,6 +52,15 @@ bench-json:
 serve-bench:
 	sh scripts/bench.sh serve
 
+# IR-compiler benchmark: per-pass ablation (naive, full, no-cse,
+# no-lazy-relin, no-hoist) of keyswitch/decomposition/ModDown counts on the
+# BSGS, bootstrap-C2S and ResNet-block programs, plus end-to-end
+# naive-vs-optimized evaluation time, written to BENCH_compile.json. The
+# -check gate inside fails if the full pipeline removes fewer than 20% of
+# the naive keyswitches on any program.
+compile-bench:
+	sh scripts/bench.sh compile
+
 # Short fuzz passes: the ISA task-program decoder, and the differential
 # modular-arithmetic fuzzer (Barrett/Shoup/Montgomery vs math/big).
 fuzz:
@@ -63,14 +72,15 @@ golden-update:
 	$(GO) test ./internal/experiments/ -run TestGolden -update
 
 # Cross-engine conformance matrix: the full program corpus (including the
-# heavy bootstrap program) against the reference, optimized, cluster and sim
-# engines, with every cell checked against its precision budget and the
+# heavy bootstrap program) against the reference, optimized, cluster, sim and
+# ir engines, with every cell checked against its precision budget and the
 # checked-in golden pass matrix. See DESIGN.md "Cross-engine conformance".
 conformance:
 	$(GO) test -count=1 -v -run TestConformanceMatrix ./internal/conformance/
 
 # Re-bless the conformance golden matrix after intentionally growing the
 # corpus or changing engine coverage. Refuses to run from a failing or
-# -short (reduced) matrix.
+# -short (reduced) matrix. The package path must precede -update or go test
+# hands the flag to the root package's test binary, which doesn't define it.
 conformance-update:
-	$(GO) test -count=1 -run TestConformanceMatrix -update ./internal/conformance/
+	$(GO) test ./internal/conformance/ -count=1 -run TestConformanceMatrix -update

@@ -1,0 +1,425 @@
+// hydra-compile is the IR-compiler benchmark: it builds the paper's two
+// keyswitch-heavy program shapes (BSGS linear transforms and the chained-DFT
+// CoeffToSlot stage of bootstrapping) plus a ResNet-style block on the
+// internal/fhir IR, compiles each with the full pass pipeline and with each
+// optimization pass ablated in turn, and reports the static cost model
+// (keyswitches, decompositions, ModDowns, rescales) per variant together
+// with wall-clock compile time and, for the evaluable programs, the measured
+// end-to-end naive-vs-optimized evaluation time on real ciphertexts.
+//
+// The output is BENCH_compile.json with the same provenance header as the
+// kernel benchmark files (commit SHA + UTC time, from BENCH_GIT_SHA /
+// BENCH_UTC_TIME when scripts/bench.sh exports them).
+//
+// With -check the tool exits non-zero unless hoisting-reuse + CSE remove at
+// least the target share of keyswitch operations (default 20%) on the BSGS
+// and CoeffToSlot-shaped programs — the compiler's headline acceptance bar.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"hydra/internal/ckks"
+	"hydra/internal/fhir"
+)
+
+type variantReport struct {
+	Name      string  `json:"name"`
+	KeySwitch int     `json:"keyswitch"`
+	Decomp    int     `json:"decomp"`
+	ModDown   int     `json:"moddown"`
+	Rescale   int     `json:"rescale"`
+	PMult     int     `json:"pmult"`
+	Values    int     `json:"values"`
+	CompileMs float64 `json:"compile_ms"`
+}
+
+type programReport struct {
+	Name        string          `json:"name"`
+	Description string          `json:"description"`
+	Slots       int             `json:"slots"`
+	Levels      int             `json:"levels"`
+	Variants    []variantReport `json:"variants"`
+	// KeySwitchReductionPct is naive → fully optimized, the headline number.
+	KeySwitchReductionPct float64 `json:"keyswitch_reduction_pct"`
+	// RotationsMerged counts rotation keyswitches that ended up inside a
+	// shared-decomposition group in the fully optimized program (extended-
+	// basis baskets and rotation sums, plus tier-A hoist groups).
+	RotationsMerged int `json:"rotations_merged"`
+	// DecompsSaved is the digit-decomposition count hoisting removes
+	// (no-hoist variant minus full pipeline).
+	DecompsSaved int `json:"decomps_saved"`
+	// ModDownsSaved is the runtime ModDown count the extended-basis fusions
+	// avoid relative to the naive compilation.
+	ModDownsSaved int `json:"moddowns_saved"`
+	// ValuesCSERemoved counts IR values common-subexpression elimination
+	// deleted (no-cse minus full pipeline).
+	ValuesCSERemoved int     `json:"values_cse_removed"`
+	EvalNaiveMs      float64 `json:"eval_naive_ms,omitempty"`
+	EvalOptimizedMs  float64 `json:"eval_optimized_ms,omitempty"`
+}
+
+type report struct {
+	GitSHA   string          `json:"git_sha"`
+	UTCTime  string          `json:"utc_time"`
+	GOOS     string          `json:"goos"`
+	GOARCH   string          `json:"goarch"`
+	Programs []programReport `json:"programs"`
+}
+
+// benchProgram is one benchmark shape: a builder thunk plus the level budget
+// it compiles under and whether the end-to-end evaluation timing runs.
+type benchProgram struct {
+	name, desc string
+	levels     int
+	logN       int
+	evaluate   bool
+	checked    bool // participates in the -check reduction gate
+	build      func(slots int) (*fhir.Program, error)
+}
+
+func main() {
+	out := flag.String("out", "BENCH_compile.json", "output JSON path")
+	check := flag.Bool("check", false, "fail unless the checked programs hit the keyswitch-reduction target")
+	target := flag.Float64("target", 20, "required keyswitch reduction percent for -check")
+	flag.Parse()
+
+	programs := []benchProgram{
+		{
+			name:     "bsgs-dense",
+			desc:     "dense 16x16 BSGS linear transform (bs=gs=4), every diagonal non-zero",
+			levels:   3,
+			logN:     5,
+			evaluate: true,
+			checked:  true,
+			build: func(slots int) (*fhir.Program, error) {
+				return buildBSGS(slots, 4, 4, 1, "m")
+			},
+		},
+		{
+			name:     "bootstrap-c2s",
+			desc:     "CoeffToSlot-shaped chain: two stacked dense BSGS stages (the DFT factor chain)",
+			levels:   4,
+			logN:     5,
+			evaluate: false,
+			checked:  true,
+			build: func(slots int) (*fhir.Program, error) {
+				return buildBSGS(slots, 4, 4, 2, "dft")
+			},
+		},
+		{
+			name:     "resnet-block",
+			desc:     "ResNet-style block: BSGS conv, degree-3 activation, skip connection",
+			levels:   6,
+			logN:     5,
+			evaluate: true,
+			build:    buildResNetBlock,
+		},
+	}
+
+	rep := report{
+		GitSHA:  provenance("BENCH_GIT_SHA", gitSHA),
+		UTCTime: provenance("BENCH_UTC_TIME", func() string { return time.Now().UTC().Format(time.RFC3339) }),
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+	}
+	failed := false
+	for _, bp := range programs {
+		pr, err := benchOne(bp)
+		if err != nil {
+			log.Fatalf("hydra-compile: %s: %v", bp.name, err)
+		}
+		rep.Programs = append(rep.Programs, *pr)
+		line := fmt.Sprintf("%-14s keyswitch %d -> %d (%.0f%% reduction), %d rotations merged, %d ModDowns saved",
+			pr.Name, pr.Variants[0].KeySwitch, pr.Variants[1].KeySwitch,
+			pr.KeySwitchReductionPct, pr.RotationsMerged, pr.ModDownsSaved)
+		if pr.EvalOptimizedMs > 0 {
+			line += fmt.Sprintf(", eval %.1fms -> %.1fms", pr.EvalNaiveMs, pr.EvalOptimizedMs)
+		}
+		fmt.Println(line)
+		if *check && bp.checked && pr.KeySwitchReductionPct < *target {
+			fmt.Fprintf(os.Stderr, "hydra-compile: %s: keyswitch reduction %.1f%% below the %.0f%% target\n",
+				pr.Name, pr.KeySwitchReductionPct, *target)
+			failed = true
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hydra-compile: wrote %d program reports to %s\n", len(rep.Programs), *out)
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func benchOne(bp benchProgram) (*programReport, error) {
+	slots := 1 << (bp.logN - 1)
+	src, err := bp.build(slots)
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		name string
+		opts *fhir.Options // nil = CompileNaive
+	}{
+		{"naive", nil},
+		{"full", &fhir.Options{Levels: bp.levels}},
+		{"no-cse", &fhir.Options{Levels: bp.levels, DisableCSE: true}},
+		{"no-lazy-relin", &fhir.Options{Levels: bp.levels, DisableLazyRelin: true}},
+		{"no-hoist", &fhir.Options{Levels: bp.levels, DisableHoist: true}},
+	}
+	pr := &programReport{Name: bp.name, Description: bp.desc, Slots: slots, Levels: bp.levels}
+	compiled := map[string]*fhir.Program{}
+	for _, v := range variants {
+		start := time.Now()
+		var p *fhir.Program
+		if v.opts == nil {
+			p, err = fhir.CompileNaive(src, bp.levels)
+		} else {
+			p, err = fhir.Compile(src, *v.opts)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("variant %s: %w", v.name, err)
+		}
+		elapsed := time.Since(start)
+		c := fhir.Measure(p)
+		compiled[v.name] = p
+		pr.Variants = append(pr.Variants, variantReport{
+			Name: v.name, KeySwitch: c.KeySwitch, Decomp: c.Decomp, ModDown: c.ModDown,
+			Rescale: c.Rescale, PMult: c.PMult, Values: c.Values,
+			CompileMs: float64(elapsed.Microseconds()) / 1e3,
+		})
+	}
+	naive, full := pr.Variants[0], pr.Variants[1]
+	if naive.KeySwitch > 0 {
+		pr.KeySwitchReductionPct = 100 * float64(naive.KeySwitch-full.KeySwitch) / float64(naive.KeySwitch)
+	}
+	for _, v := range pr.Variants {
+		switch v.Name {
+		case "no-hoist":
+			pr.DecompsSaved = v.Decomp - full.Decomp
+		case "no-cse":
+			pr.ValuesCSERemoved = v.Values - full.Values
+		}
+	}
+	pr.RotationsMerged = countMergedRotations(compiled["full"])
+	pr.ModDownsSaved = naive.ModDown - full.ModDown
+
+	if bp.evaluate {
+		nms, oms, err := evaluatePair(bp, compiled["naive"], compiled["full"])
+		if err != nil {
+			return nil, fmt.Errorf("end-to-end evaluation: %w", err)
+		}
+		pr.EvalNaiveMs, pr.EvalOptimizedMs = nms, oms
+	}
+	return pr, nil
+}
+
+// countMergedRotations counts the rotations of the optimized program that
+// share a digit decomposition with at least one other rotation: the members
+// of extended-basis baskets and rotation sums, and the standalone rotations
+// the tier-A pass grouped (non-zero Hoist id).
+func countMergedRotations(p *fhir.Program) int {
+	n := 0
+	for _, v := range p.Values {
+		switch v.Op {
+		case fhir.OpRotBasket, fhir.OpRotSum:
+			for _, r := range v.Rots {
+				if r != 0 {
+					n++
+				}
+			}
+		case fhir.OpRotate:
+			if v.Hoist != 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// evaluatePair times one naive and one optimized execution on real
+// ciphertexts under a deterministic key set, checking both against the exact
+// interpreter so a timing win can never hide a wrong result.
+func evaluatePair(bp benchProgram, naive, opt *fhir.Program) (naiveMs, optMs float64, err error) {
+	params := ckks.TestParameters(bp.logN, bp.levels)
+	rotSet := map[int]bool{}
+	conj := false
+	for _, p := range []*fhir.Program{naive, opt} {
+		rs, cj := p.Rotations()
+		for _, r := range rs {
+			rotSet[r] = true
+		}
+		conj = conj || cj
+	}
+	rots := make([]int, 0, len(rotSet))
+	for r := range rotSet {
+		rots = append(rots, r)
+	}
+	sort.Ints(rots)
+	kg := ckks.NewKeyGenerator(params, 1)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	enc := ckks.NewEncoder(params)
+	encryptor := ckks.NewEncryptor(params, pk, 2)
+	decryptor := ckks.NewDecryptor(params, sk)
+	eval := ckks.NewEvaluator(params, kg.GenRelinearizationKey(sk), kg.GenRotationKeys(sk, rots, conj))
+
+	plainIn := map[string][]complex128{}
+	for _, in := range opt.Inputs() {
+		vals := make([]complex128, opt.Slots)
+		for i := range vals {
+			vals[i] = complex(0.4*math.Cos(float64(3*i+1)), 0)
+		}
+		plainIn[in.Name] = vals
+	}
+	want, err := fhir.Interpret(opt, plainIn)
+	if err != nil {
+		return 0, 0, err
+	}
+	ctx := fhir.EvalContext{Eval: eval, Enc: enc}
+	timeOne := func(p *fhir.Program) (float64, error) {
+		inputs := map[string]*ckks.Ciphertext{}
+		for name, vals := range plainIn {
+			pt, err := enc.EncodeAtLevel(vals, params.DefaultScale(), bp.levels)
+			if err != nil {
+				return 0, err
+			}
+			inputs[name] = encryptor.Encrypt(pt)
+		}
+		start := time.Now()
+		out, err := fhir.Evaluate(p, ctx, inputs)
+		if err != nil {
+			return 0, err
+		}
+		elapsed := time.Since(start)
+		got := enc.Decode(decryptor.Decrypt(out))
+		maxErr := 0.0
+		for i := range want {
+			re, im := real(got[i]-want[i]), imag(got[i]-want[i])
+			if e := math.Hypot(re, im); e > maxErr {
+				maxErr = e
+			}
+		}
+		if maxErr > 1e-2 {
+			return 0, fmt.Errorf("max slot error %.3g against the interpreter", maxErr)
+		}
+		return float64(elapsed.Microseconds()) / 1e3, nil
+	}
+	if naiveMs, err = timeOne(naive); err != nil {
+		return 0, 0, fmt.Errorf("naive: %w", err)
+	}
+	if optMs, err = timeOne(opt); err != nil {
+		return 0, 0, fmt.Errorf("optimized: %w", err)
+	}
+	return naiveMs, optMs, nil
+}
+
+// buildBSGS writes `stages` chained dense BSGS linear transforms (every
+// baby-step rotation re-emitted per giant step, exactly what the hoisting
+// pass is for). Diagonal values are deterministic smooth vectors scaled so
+// chained stages keep O(1) slot magnitudes.
+func buildBSGS(slots, bs, gs, stages int, keyPrefix string) (*fhir.Program, error) {
+	b := fhir.NewBuilder(slots)
+	x := b.Input("x")
+	cur := x
+	for s := 0; s < stages; s++ {
+		var acc *fhir.Value
+		for g := 0; g < gs; g++ {
+			var inner *fhir.Value
+			for j := 0; j < bs; j++ {
+				key := fmt.Sprintf("%s%d:%d:%d", keyPrefix, s, g, j)
+				vals := make([]complex128, slots)
+				for t := range vals {
+					vals[t] = complex(math.Cos(float64(g*bs+j+3*t))/float64(bs*gs), 0)
+				}
+				term := b.MulPlain(b.Rotate(cur, j), b.PlainVec(key, vals))
+				if inner == nil {
+					inner = term
+				} else {
+					inner = b.Add(inner, term)
+				}
+			}
+			rotated := b.Rotate(inner, g*bs)
+			if acc == nil {
+				acc = rotated
+			} else {
+				acc = b.Add(acc, rotated)
+			}
+		}
+		cur = acc
+	}
+	b.Output(cur)
+	return b.Build()
+}
+
+// buildResNetBlock writes y = act(W·x) + x with a dense BSGS weight
+// transform and a degree-3 Horner activation — the FHE shape of one
+// convolution + activation + skip connection.
+func buildResNetBlock(slots int) (*fhir.Program, error) {
+	b := fhir.NewBuilder(slots)
+	x := b.Input("x")
+	const bs, gs = 4, 4
+	var conv *fhir.Value
+	for g := 0; g < gs; g++ {
+		var inner *fhir.Value
+		for j := 0; j < bs; j++ {
+			vals := make([]complex128, slots)
+			for t := range vals {
+				vals[t] = complex(math.Sin(float64(g*bs+j+2*t))/float64(bs*gs), 0)
+			}
+			term := b.MulPlain(b.Rotate(x, j), b.PlainVec(fmt.Sprintf("w:%d:%d", g, j), vals))
+			if inner == nil {
+				inner = term
+			} else {
+				inner = b.Add(inner, term)
+			}
+		}
+		rotated := b.Rotate(inner, g*bs)
+		if conv == nil {
+			conv = rotated
+		} else {
+			conv = b.Add(conv, rotated)
+		}
+	}
+	// Degree-3 polynomial activation by Horner: ((c3·u + c2)·u + c1)·u + c0.
+	coeffs := []float64{0, 0.5, 0.25, -0.125}
+	act := b.AddConst(b.MulConst(conv, coeffs[3]), coeffs[2])
+	for i := 1; i >= 0; i-- {
+		act = b.AddConst(b.Mul(act, conv), coeffs[i])
+	}
+	b.Output(b.Add(act, x))
+	return b.Build()
+}
+
+// provenance prefers the environment value bench.sh exports so every
+// BENCH_*.json of one run agrees, falling back to computing it here.
+func provenance(env string, fallback func() string) string {
+	if v := os.Getenv(env); v != "" {
+		return v
+	}
+	return fallback()
+}
+
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -1,7 +1,10 @@
 // Quickstart: the two halves of this repository in one program.
 //
-// Part 1 exercises the functional CKKS layer — encode, encrypt, add,
-// multiply, rotate, decrypt — the arithmetic a Hydra card executes.
+// Part 1 writes a small ciphertext program on the internal/fhir SSA IR —
+// the compiler front door — runs the optimizing pass pipeline (CSE, lazy
+// rescale placement, lazy relinearization, rotation hoisting), and executes
+// both the naive and the optimized form on the functional CKKS layer,
+// showing the keyswitch work the compiler removed.
 //
 // Part 2 builds the scale-out schedule for a small convolution layer with
 // the paper's ring-broadcast mapping (Figs. 1-2) and runs it on the
@@ -12,21 +15,67 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"hydra/internal/ckks"
+	"hydra/internal/fhir"
 	"hydra/internal/mapping"
 	"hydra/internal/sim"
 	"hydra/internal/task"
 )
 
 func main() {
-	fmt.Println("== Part 1: CKKS arithmetic (the per-card functional layer) ==")
-	params := ckks.TestParameters(12, 4) // N = 4096, 4 multiplicative levels
+	fmt.Println("== Part 1: a ciphertext program on the IR (the compiler layer) ==")
+	const levels = 4
+	params := ckks.TestParameters(12, levels) // N = 4096, 4 multiplicative levels
+
+	// The program: smooth = Σ_{r<3} rot(x·y + x/2, r). The builder records
+	// only the mathematics; rescale placement, relinearization and rotation
+	// sharing are the pass pipeline's job.
+	b := fhir.NewBuilder(params.Slots())
+	x, y := b.Input("x"), b.Input("y")
+	t := b.Add(b.Mul(x, y), b.MulConst(x, 0.5))
+	smooth := b.Sum(t, b.Rotate(t, 1), b.Rotate(t, 2))
+	b.Output(smooth)
+	prog, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	naive, err := fhir.CompileNaive(prog, levels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := fhir.Compile(prog, fhir.Options{Levels: levels})
+	if err != nil {
+		log.Fatal(err)
+	}
+	nc, oc := fhir.Measure(naive), fhir.Measure(opt)
+	fmt.Printf("  naive:     %d keyswitches, %d decompositions, %d rescales\n",
+		nc.KeySwitch, nc.Decomp, nc.Rescale)
+	fmt.Printf("  optimized: %d keyswitches, %d decompositions, %d rescales\n",
+		oc.KeySwitch, oc.Decomp, oc.Rescale)
+
+	// Key material: the union of rotations either compiled form needs.
+	rotSet := map[int]bool{}
+	conj := false
+	for _, p := range []*fhir.Program{naive, opt} {
+		rs, cj := p.Rotations()
+		for _, r := range rs {
+			rotSet[r] = true
+		}
+		conj = conj || cj
+	}
+	rots := make([]int, 0, len(rotSet))
+	for r := range rotSet {
+		rots = append(rots, r)
+	}
+	sort.Ints(rots)
 	kg := ckks.NewKeyGenerator(params, 1)
 	sk := kg.GenSecretKey()
 	pk := kg.GenPublicKey(sk)
 	rlk := kg.GenRelinearizationKey(sk)
-	rtks := kg.GenRotationKeys(sk, []int{1}, false)
+	rtks := kg.GenRotationKeys(sk, rots, conj)
 
 	enc := ckks.NewEncoder(params)
 	encryptor := ckks.NewEncryptor(params, pk, 2)
@@ -39,29 +88,31 @@ func main() {
 		xs[i] = complex(float64(i%10)/10, 0)
 		ys[i] = complex(float64(i%7)/7, 0)
 	}
-	ptX, err := enc.Encode(xs)
+	want, err := fhir.Interpret(prog, map[string][]complex128{"x": xs, "y": ys})
 	if err != nil {
 		log.Fatal(err)
 	}
-	ptY, err := enc.Encode(ys)
-	if err != nil {
-		log.Fatal(err)
-	}
-	ctX := encryptor.Encrypt(ptX)
-	ctY := encryptor.Encrypt(ptY)
-
-	sum := eval.Add(ctX, ctY)
-	prod := eval.Rescale(eval.MulRelin(ctX, ctY))
-	rot := eval.Rotate(ctX, 1)
-
-	show := func(name string, ct *ckks.Ciphertext, want func(i int) complex128) {
-		got := enc.Decode(decryptor.Decrypt(ct))
+	ctx := fhir.EvalContext{Eval: eval, Enc: enc}
+	for _, run := range []struct {
+		name string
+		p    *fhir.Program
+	}{{"naive", naive}, {"optimized", opt}} {
+		inputs := map[string]*ckks.Ciphertext{}
+		for n, vals := range map[string][]complex128{"x": xs, "y": ys} {
+			pt, err := enc.EncodeAtLevel(vals, params.DefaultScale(), levels)
+			if err != nil {
+				log.Fatal(err)
+			}
+			inputs[n] = encryptor.Encrypt(pt)
+		}
+		out, err := fhir.Evaluate(run.p, ctx, inputs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		got := enc.Decode(decryptor.Decrypt(out))
 		fmt.Printf("  %-10s slot0 got %+.4f want %+.4f | slot5 got %+.4f want %+.4f\n",
-			name, real(got[0]), real(want(0)), real(got[5]), real(want(5)))
+			run.name, real(got[0]), real(want[0]), real(got[5]), real(want[5]))
 	}
-	show("x + y", sum, func(i int) complex128 { return xs[i] + ys[i] })
-	show("x * y", prod, func(i int) complex128 { return xs[i] * ys[i] })
-	show("rot(x,1)", rot, func(i int) complex128 { return xs[(i+1)%params.Slots()] })
 
 	fmt.Println("\n== Part 2: scale-out schedule of a ConvBN layer on Hydra-M ==")
 	cfg := sim.HydraConfig()

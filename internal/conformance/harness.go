@@ -199,6 +199,13 @@ func (h *Harness) Run(opts RunOptions) (Matrix, error) {
 						rep.Steps, rep.Tasks, rep.ISABytes, rep.Makespan)}
 			}
 		}
+
+		if reason, ok := s.Skip["ir"]; ok {
+			row["ir"] = Outcome{Status: "skip", Detail: reason}
+		} else {
+			irCt, irErr := runGuarded(func() (*ckks.Ciphertext, error) { return runIR(env, s) })
+			row["ir"] = checkCiphertext(env, irCt, irErr, expected, s)
+		}
 		for _, e := range EngineNames {
 			o := row[e]
 			switch o.Status {

@@ -15,7 +15,13 @@
 //  4. sim        — the analytic pipeline: each program is mapped to a task
 //     graph (internal/mapping), round-tripped through the ISA encoding
 //     (internal/isa), and legality-checked on the simulator (internal/sim);
-//     the numeric check becomes a schedule-legality/decode check.
+//     the numeric check becomes a schedule-legality/decode check;
+//  5. ir         — the compiler pipeline: the program is rebuilt on the
+//     internal/fhir SSA IR, optimized by the full pass stack (CSE, lazy
+//     rescale placement, lazy relinearization, rotation hoisting), executed
+//     through the ckks-evaluator lowering for the numeric verdict, and the
+//     same optimized form must also lower legally onto the task/ISA/sim
+//     pipeline and reproduce the result on the functional cluster runtime.
 //
 // Engines 1 and 2 are additionally pinned bit-identical on the programs whose
 // spec sets bitExact (the paths PR 4/5 proved bit-identity for); everywhere
@@ -36,7 +42,7 @@ import (
 )
 
 // Engine names, in report order.
-var EngineNames = []string{"reference", "optimized", "cluster", "sim"}
+var EngineNames = []string{"reference", "optimized", "cluster", "sim", "ir"}
 
 // ProgramSpec is one conformance program: inputs, an op chain, the register
 // holding the result, and how strictly engines must agree on it.

@@ -1,0 +1,7 @@
+package fhir
+
+import "hydra/internal/cluster"
+
+func newCluster(te *testEnv, cards int) *cluster.Cluster {
+	return cluster.New(te.params, te.eval, cards)
+}

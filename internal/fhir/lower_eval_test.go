@@ -1,0 +1,183 @@
+package fhir
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hydra/internal/ckks"
+)
+
+// testEnv is one keyed CKKS context sized for a program pair.
+type testEnv struct {
+	params *ckks.Parameters
+	enc    *ckks.Encoder
+	eval   *ckks.Evaluator
+	dec    *ckks.Decryptor
+	encr   *ckks.Encryptor
+}
+
+func newTestEnv(t *testing.T, logN, levels int, rots []int, conjugate bool) *testEnv {
+	t.Helper()
+	params := ckks.TestParameters(logN, levels)
+	kg := ckks.NewKeyGenerator(params, 1)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rlk := kg.GenRelinearizationKey(sk)
+	rtks := kg.GenRotationKeys(sk, rots, conjugate)
+	return &testEnv{
+		params: params,
+		enc:    ckks.NewEncoder(params),
+		eval:   ckks.NewEvaluator(params, rlk, rtks),
+		dec:    ckks.NewDecryptor(params, sk),
+		encr:   ckks.NewEncryptor(params, pk, 2),
+	}
+}
+
+func (te *testEnv) encryptAll(t *testing.T, inputs map[string][]complex128, level int) map[string]*ckks.Ciphertext {
+	t.Helper()
+	out := map[string]*ckks.Ciphertext{}
+	for name, vals := range inputs {
+		pt, err := te.enc.EncodeAtLevel(vals, te.params.DefaultScale(), level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = te.encr.Encrypt(pt)
+	}
+	return out
+}
+
+func (te *testEnv) decryptSlots(ct *ckks.Ciphertext) []complex128 {
+	return te.enc.Decode(te.dec.Decrypt(ct))
+}
+
+func maxErr(a, b []complex128) float64 {
+	m := 0.0
+	for i := range a {
+		if d := math.Hypot(real(a[i]-b[i]), imag(a[i]-b[i])); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func randVec(rng *rand.Rand, n int) []complex128 {
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	return out
+}
+
+// unionRotations collects the rotation keys two compiled variants of one
+// source program need between them.
+func unionRotations(ps ...*Program) (rots []int, conjugate bool) {
+	set := map[int]bool{}
+	for _, p := range ps {
+		rs, conj := p.Rotations()
+		conjugate = conjugate || conj
+		for _, r := range rs {
+			set[r] = true
+		}
+	}
+	for r := range set {
+		rots = append(rots, r)
+	}
+	return rots, conjugate
+}
+
+// runDifferential compiles src both ways, evaluates both on ciphertexts, and
+// checks each against the exact plaintext interpretation.
+func runDifferential(t *testing.T, src func() *Program, levels int, tol float64) {
+	t.Helper()
+	opt, err := Compile(src(), Options{Levels: levels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := CompileNaive(src(), levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rots, conj := unionRotations(opt, naive)
+	logN := 5
+	for (1 << (logN - 1)) < opt.Slots {
+		logN++
+	}
+	te := newTestEnv(t, logN, levels, rots, conj)
+	if te.params.Slots() != opt.Slots {
+		t.Fatalf("slot mismatch: params %d, program %d", te.params.Slots(), opt.Slots)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	plainIn := map[string][]complex128{}
+	for _, in := range opt.Inputs() {
+		plainIn[in.Name] = randVec(rng, opt.Slots)
+	}
+	want, err := Interpret(src(), plainIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := EvalContext{Eval: te.eval, Enc: te.enc}
+	for name, p := range map[string]*Program{"optimized": opt, "naive": naive} {
+		cts := te.encryptAll(t, plainIn, levels)
+		out, err := Evaluate(p, ctx, cts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got := te.decryptSlots(out)
+		if e := maxErr(got, want); e > tol {
+			t.Errorf("%s disagrees with the interpreter: max slot error %.3g > %.3g\n%s", name, e, tol, p)
+		}
+	}
+}
+
+func TestEvaluateBSGSDifferential(t *testing.T) {
+	runDifferential(t, func() *Program { return buildBSGS(t, 16, 4, 4) }, 3, 1e-4)
+}
+
+func TestEvaluateRotSumDifferential(t *testing.T) {
+	runDifferential(t, func() *Program {
+		b := NewBuilder(16)
+		x := b.Input("x")
+		b.Output(b.Sum(x, b.Rotate(x, 1), b.Rotate(x, 2), b.Rotate(x, 4), b.Rotate(x, 8)))
+		p, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}, 2, 1e-5)
+}
+
+func TestEvaluateLazyRelinDifferential(t *testing.T) {
+	runDifferential(t, func() *Program {
+		b := NewBuilder(16)
+		x, y, z := b.Input("x"), b.Input("y"), b.Input("z")
+		s := b.Sum(b.Mul(x, y), b.Mul(y, z), b.Mul(b.Rotate(x, 1), z))
+		b.Output(s)
+		p, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}, 3, 1e-4)
+}
+
+func TestEvaluateMixedDifferential(t *testing.T) {
+	runDifferential(t, func() *Program {
+		b := NewBuilder(16)
+		x, y := b.Input("x"), b.Input("y")
+		a := b.AddConst(b.MulConst(x, 0.5), 0.25)
+		c := b.Sub(b.Conjugate(y), b.Neg(b.Rotate(x, 3)))
+		m := b.Mul(a, c)
+		w := b.MulPlain(b.Rotate(m, 2), b.PlainVec("w", []complex128{
+			1, 2, 3, 4, 5, 6, 7, 8, 1, 2, 3, 4, 5, 6, 7, 8,
+		}))
+		b.Output(b.Add(w, b.Mul(a, a)))
+		p, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}, 4, 1e-3)
+}

@@ -1,0 +1,117 @@
+package fhir
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"hydra/internal/fheop"
+	"hydra/internal/hw"
+	"hydra/internal/isa"
+	"hydra/internal/sim"
+	"hydra/internal/task"
+)
+
+func totalOps(tp *task.Program) fheop.Counts {
+	var c fheop.Counts
+	for _, st := range tp.Steps {
+		for _, q := range st.Compute {
+			for _, t := range q {
+				c = c.Add(t.Ops)
+			}
+		}
+	}
+	return c
+}
+
+func TestLowerTaskSchedulesAndSims(t *testing.T) {
+	opt, err := Compile(buildBSGS(t, 16, 4, 4), Options{Levels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := BuildTaskProgram(opt, hw.PaperScheme(), 4, 2, "bsgs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := isa.Marshal(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := isa.Unmarshal(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin2, err := isa.Marshal(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bin, bin2) {
+		t.Fatal("isa round trip not byte-stable")
+	}
+	res, err := sim.Run(decoded, sim.HydraConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.Makespan) || math.IsInf(res.Makespan, 0) || res.Makespan <= 0 {
+		t.Fatalf("makespan %v not finite and positive", res.Makespan)
+	}
+}
+
+func TestLowerTaskKeySwitchReduction(t *testing.T) {
+	opt, err := Compile(buildBSGS(t, 16, 4, 4), Options{Levels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := CompileNaive(buildBSGS(t, 16, 4, 4), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme := hw.PaperScheme()
+	otp, err := BuildTaskProgram(opt, scheme, 1, 1, "opt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ntp, err := BuildTaskProgram(naive, scheme, 1, 1, "naive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := func(c fheop.Counts) int {
+		return c[fheop.Rotation] + c[fheop.KeySwitch] + c[fheop.CMult] + c[fheop.Conjugate]
+	}
+	ko, kn := ks(totalOps(otp)), ks(totalOps(ntp))
+	if reduction := 1 - float64(ko)/float64(kn); reduction < 0.20 {
+		t.Errorf("task-level keyswitch reduction %.0f%% (%d vs %d), want >= 20%%", reduction*100, ko, kn)
+	}
+}
+
+func TestLowerTaskMultiCardSplitsTerms(t *testing.T) {
+	opt, err := Compile(buildBSGS(t, 16, 4, 4), Options{Levels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := BuildTaskProgram(opt, hw.PaperScheme(), 4, 2, "bsgs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tp.Steps[0]
+	busy := 0
+	for card := 0; card < tp.Cards; card++ {
+		if len(st.Compute[card]) > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Errorf("only %d cards busy; the term partition should engage several", busy)
+	}
+	sends := 0
+	for card := 0; card < tp.Cards; card++ {
+		for _, c := range st.Comm[card] {
+			if c.Kind == task.Send {
+				sends++
+			}
+		}
+	}
+	if sends == 0 {
+		t.Error("no aggregation sends emitted for a multi-card lowering")
+	}
+}

@@ -1,0 +1,64 @@
+package fhir
+
+import "fmt"
+
+// CSE merges structurally identical values: same operation, same (already
+// merged) operands, same attributes. Its main payoff on FHE programs is
+// rotation reuse — a BSGS transform written naively re-rotates the input once
+// per (group, baby-step) pair, and CSE collapses those to one rotation per
+// baby step, which is what makes the Hoist pass's shared decomposition worth
+// one decomposition total. Plaintext operands merge through their Keys;
+// keyless plaintexts never merge. Add and Mul are treated as commutative.
+func CSE(p *Program) *Program {
+	rep := make(map[*Value]*Value, len(p.Values))
+	byKey := map[string]*Value{}
+	out := &Program{Slots: p.Slots, Legal: p.Legal, InputLevel: p.InputLevel}
+	emit := func(v *Value) *Value {
+		v.ID = len(out.Values)
+		out.Values = append(out.Values, v)
+		return v
+	}
+	for _, v := range p.Values {
+		args := make([]*Value, len(v.Args))
+		for i, a := range v.Args {
+			args[i] = rep[a]
+		}
+		key := cseKey(v, args)
+		if w, ok := byKey[key]; ok {
+			rep[v] = w
+			continue
+		}
+		nv := emit(&Value{Op: v.Op, Args: args, K: v.K, Const: v.Const, Plain: v.Plain,
+			Rots: v.Rots, Plains: v.Plains, Name: v.Name,
+			Level: v.Level, Pend: v.Pend, Degree: v.Degree, Hoist: v.Hoist})
+		byKey[key] = nv
+		rep[v] = nv
+	}
+	out.Output = rep[p.Output]
+	return dce(out)
+}
+
+func cseKey(v *Value, args []*Value) string {
+	a0, a1 := -1, -1
+	if len(args) > 0 {
+		a0 = args[0].ID
+	}
+	if len(args) > 1 {
+		a1 = args[1].ID
+	}
+	// Commutative ops: normalize operand order.
+	if (v.Op == OpAdd || v.Op == OpMul) && a1 < a0 {
+		a0, a1 = a1, a0
+	}
+	key := fmt.Sprintf("%d|%d,%d|%d|%x|%s", int(v.Op), a0, a1, v.K, v.Const, v.Name)
+	if v.Plain != nil {
+		key += "|" + v.Plain.cseKey()
+	}
+	if len(v.Rots) > 0 {
+		key += fmt.Sprintf("|%v", v.Rots)
+	}
+	for _, pt := range v.Plains {
+		key += "|" + pt.cseKey()
+	}
+	return key
+}

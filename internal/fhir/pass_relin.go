@@ -1,0 +1,86 @@
+package fhir
+
+// LazyRelin defers relinearization through additions: a sum of relinearized
+// products Add(Relin(x), Relin(y)) becomes Relin(Add(x, y)) — the addition
+// runs on the degree-2 tensors and the whole sum pays one keyswitch. Applied
+// to a k-term inner product (the CCMM iteration, attention scores) this
+// replaces k relinearizations with one. The rewrite only fires when both
+// relinearizations have a single consumer (otherwise the degree-1 result is
+// still needed elsewhere) and repeats to fixpoint so left-folded sums
+// collapse fully. A ModSwitch between the Relin and the Add (inserted by
+// Legalize to align levels) is pulled through onto the degree-2 value.
+//
+// Relinearization is linear, so the rewrite is exact up to keyswitch noise:
+// one keyswitch of a sum instead of the sum of keyswitches. It requires a
+// legalized program and preserves all facts.
+func LazyRelin(p *Program) *Program {
+	for {
+		np, changed := lazyRelinOnce(p)
+		p = np
+		if !changed {
+			return p
+		}
+	}
+}
+
+// peelRelin recognizes Relin(m) or ModSwitch(Relin(m)) with single uses all
+// the way down, returning the degree-2 value and the level drop to reapply.
+func peelRelin(v *Value, uses map[*Value]int) (m *Value, drop int, ok bool) {
+	drop = 0
+	if v.Op == OpModSwitch && uses[v] == 1 {
+		drop = v.K
+		v = v.Args[0]
+	}
+	if v.Op != OpRelin || uses[v] != 1 {
+		return nil, 0, false
+	}
+	return v.Args[0], drop, true
+}
+
+func lazyRelinOnce(p *Program) (*Program, bool) {
+	uses := p.uses()
+	rep := make(map[*Value]*Value, len(p.Values))
+	out := &Program{Slots: p.Slots, Legal: p.Legal, InputLevel: p.InputLevel}
+	emit := func(v *Value) *Value {
+		v.ID = len(out.Values)
+		out.Values = append(out.Values, v)
+		return v
+	}
+	clone := func(v *Value, args []*Value) *Value {
+		return emit(&Value{Op: v.Op, Args: args, K: v.K, Const: v.Const, Plain: v.Plain,
+			Rots: v.Rots, Plains: v.Plains, Name: v.Name,
+			Level: v.Level, Pend: v.Pend, Degree: v.Degree, Hoist: v.Hoist})
+	}
+	// reDrop reapplies a level drop onto the degree-2 operand.
+	reDrop := func(m *Value, drop int) *Value {
+		if drop == 0 {
+			return m
+		}
+		return emit(&Value{Op: OpModSwitch, Args: []*Value{m}, K: drop,
+			Level: m.Level - drop, Pend: m.Pend, Degree: m.Degree})
+	}
+	changed := false
+	for _, v := range p.Values {
+		args := make([]*Value, len(v.Args))
+		for i, a := range v.Args {
+			args[i] = rep[a]
+		}
+		if v.Op == OpAdd && v.Degree == 1 {
+			mx, dropX, okX := peelRelin(v.Args[0], uses)
+			my, dropY, okY := peelRelin(v.Args[1], uses)
+			if okX && okY {
+				x := reDrop(rep[mx], dropX)
+				y := reDrop(rep[my], dropY)
+				sum := emit(&Value{Op: OpAdd, Args: []*Value{x, y},
+					Level: v.Level, Pend: x.Pend, Degree: 2})
+				rep[v] = emit(&Value{Op: OpRelin, Args: []*Value{sum},
+					Level: v.Level, Pend: v.Pend, Degree: 1})
+				changed = true
+				continue
+			}
+		}
+		rep[v] = clone(v, args)
+	}
+	out.Output = rep[p.Output]
+	return dce(out), changed
+}

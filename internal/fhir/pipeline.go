@@ -1,0 +1,61 @@
+package fhir
+
+import "fmt"
+
+// Options configure the pass pipeline. The zero value (plus a Levels budget)
+// runs every optimization; the Disable knobs exist for ablation studies
+// (cmd/hydra-compile reports per-pass deltas) and for debugging.
+type Options struct {
+	// Levels is the modulus-chain depth every input arrives at.
+	Levels int
+	// DisableCSE skips common-subexpression elimination.
+	DisableCSE bool
+	// DisableLazyRelin skips relinearization deferral.
+	DisableLazyRelin bool
+	// DisableHoist skips rotation hoisting (both tiers).
+	DisableHoist bool
+}
+
+// Compile runs the optimizing pipeline:
+//
+//	CSE → Legalize(lazy) → LazyRelin → Hoist → DCE
+//
+// CSE runs first so Legalize sees each shared rotation once. Legalize runs
+// before LazyRelin and Hoist because both passes match on facts (degrees,
+// single-use relinearizations at aligned levels) that only exist after
+// placement. Hoist runs last: LazyRelin shrinks addition trees of products
+// first, and the trees Hoist restructures are what remains.
+func Compile(p *Program, opts Options) (*Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !opts.DisableCSE {
+		p = CSE(p)
+	}
+	p, err := Legalize(p, LegalizeOptions{Levels: opts.Levels})
+	if err != nil {
+		return nil, err
+	}
+	if !opts.DisableLazyRelin {
+		p = LazyRelin(p)
+	}
+	if !opts.DisableHoist {
+		p = Hoist(p)
+	}
+	p = dce(p)
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("fhir: pipeline produced an invalid program: %w", err)
+	}
+	return p, nil
+}
+
+// CompileNaive runs only eager legalization — every rescale closed
+// immediately, every relinearization in place, every rotation standalone.
+// This is the baseline the differential tests and the compile benchmark
+// compare against.
+func CompileNaive(p *Program, levels int) (*Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return Legalize(p, LegalizeOptions{Levels: levels, Eager: true})
+}

@@ -5,17 +5,20 @@ import (
 	"go/types"
 )
 
-// schedPkgs are the packages executing or simulating the schedule, where a
-// swallowed error desynchronizes the discrete-event timeline or leaves peer
-// cards blocked on a handshake that will never complete.
-var schedPkgs = []string{"internal/sim", "internal/cluster", "internal/runtime", "internal/serve"}
+// schedPkgs are the packages executing, simulating or compiling the
+// schedule, where a swallowed error desynchronizes the discrete-event
+// timeline, leaves peer cards blocked on a handshake that will never
+// complete, or silently ships an illegal program (the fhir pass pipeline
+// reports level underflow and scale mismatches as errors; dropping one turns
+// a compile-time diagnostic into a runtime decryption failure).
+var schedPkgs = []string{"internal/sim", "internal/cluster", "internal/runtime", "internal/serve", "internal/fhir"}
 
 // ErrDrop flags discarded error returns in the scheduling/execution
 // packages: calls whose error result is ignored entirely (expression
 // statements, go/defer calls) or assigned to the blank identifier.
 var ErrDrop = &Check{
 	Name: "errdrop",
-	Doc:  "discarded error return in internal/sim, internal/cluster, internal/runtime, internal/serve",
+	Doc:  "discarded error return in internal/sim, internal/cluster, internal/runtime, internal/serve, internal/fhir",
 	Run:  runErrDrop,
 }
 

@@ -1,0 +1,123 @@
+package mapping
+
+import (
+	"math"
+	"testing"
+
+	"hydra/internal/fheop"
+	"hydra/internal/hw"
+	"hydra/internal/sim"
+	"hydra/internal/task"
+)
+
+func sumOps(p *task.Program) fheop.Counts {
+	var c fheop.Counts
+	for _, st := range p.Steps {
+		for _, q := range st.Compute {
+			for _, t := range q {
+				c = c.Add(t.Ops)
+			}
+		}
+	}
+	return c
+}
+
+func keyswitches(c fheop.Counts) int {
+	return c[fheop.Rotation] + c[fheop.KeySwitch] + c[fheop.CMult] + c[fheop.Conjugate]
+}
+
+// TestMatVecIRReducesKeySwitches compares the IR-compiled BSGS emission
+// against the hand-counted legacy emitter. The schedules differ by design:
+// the legacy path charges every baby step on every card, rotation-by-zero
+// included; the IR path hoists the shared baby rotations into one
+// extended-basis basket per card and drops identity rotations at build time.
+// The IR emission must therefore need strictly fewer keyswitches.
+func TestMatVecIRReducesKeySwitches(t *testing.T) {
+	const bs, gs, slots, cards = 4, 4, 16, 4
+	scheme := hw.PaperScheme()
+
+	legacy := task.NewBuilder(cards, 2)
+	if err := NewContext(legacy, scheme, cards).MatVec(MatVecOptions{BS: bs, GS: gs}, "legacy"); err != nil {
+		t.Fatal(err)
+	}
+	ir := task.NewBuilder(cards, 2)
+	if err := NewContext(ir, scheme, cards).MatVecIR(MatVecOptions{BS: bs, GS: gs}, slots, 3, "ir"); err != nil {
+		t.Fatal(err)
+	}
+	lp, ip := legacy.Build(), ir.Build()
+	if err := ip.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	lk, ik := keyswitches(sumOps(lp)), keyswitches(sumOps(ip))
+	if ik >= lk {
+		t.Errorf("IR emission uses %d keyswitches, legacy %d; hoisting should reduce them", ik, lk)
+	}
+}
+
+func TestMatVecIRSchedules(t *testing.T) {
+	b := task.NewBuilder(4, 2)
+	if err := NewContext(b, hw.PaperScheme(), 4).MatVecIR(MatVecOptions{BS: 4, GS: 4}, 16, 3, "ir"); err != nil {
+		t.Fatal(err)
+	}
+	p := b.Build()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(p, sim.HydraConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.Makespan) || math.IsInf(res.Makespan, 0) || res.Makespan <= 0 {
+		t.Fatalf("makespan %v", res.Makespan)
+	}
+}
+
+func TestPolyEvalIRSchedules(t *testing.T) {
+	b := task.NewBuilder(2, 2)
+	coeffs := []float64{0.5, -1, 0.25, 0.125, -0.5, 1, 0.0625, -0.25}
+	if err := NewContext(b, hw.PaperScheme(), 2).PolyEvalIR(coeffs, 16, 8, "poly"); err != nil {
+		t.Fatal(err)
+	}
+	p := b.Build()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ops := sumOps(p)
+	// Horner on a degree-7 polynomial: six ciphertext products, each fused
+	// with its relinearization into a CMult.
+	if ops[fheop.CMult] != 6 {
+		t.Errorf("CMult count %d, want 6 (Horner depth)", ops[fheop.CMult])
+	}
+	res, err := sim.Run(p, sim.HydraConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.Makespan) || math.IsInf(res.Makespan, 0) || res.Makespan <= 0 {
+		t.Fatalf("makespan %v", res.Makespan)
+	}
+}
+
+// TestBSGSProgramMatchesLegacyShape pins the structural relationship between
+// the two routes: the IR program's rotation set equals the legacy BSGS
+// rotation set (babies 1..bs-1 and giants bs, 2bs, ...) — the rotation-by-zero
+// the legacy emitter charges is identity-folded by the builder.
+func TestBSGSProgramMatchesLegacyShape(t *testing.T) {
+	const bs, gs, slots = 4, 4, 16
+	prog, err := BSGSProgram(slots, bs, gs, onesDiag(slots))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rots, conj := prog.Rotations()
+	if conj {
+		t.Error("BSGS should not need conjugation keys")
+	}
+	want := map[int]bool{1: true, 2: true, 3: true, 4: true, 8: true, 12: true}
+	if len(rots) != len(want) {
+		t.Fatalf("rotations %v, want %v", rots, want)
+	}
+	for _, r := range rots {
+		if !want[r] {
+			t.Fatalf("unexpected rotation %d in %v", r, rots)
+		}
+	}
+}

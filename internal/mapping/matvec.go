@@ -34,6 +34,12 @@ type MatVecOptions struct {
 //     bs-1 HAdds and one rotation, plus the local partial accumulation;
 //   - partials are aggregated pairwise in a tree with one HAdd per round and
 //     the result is broadcast back (log2(Cn)+1 communications, Eq. 1).
+//
+// This hand-counted emitter is the pinned baseline of the paper-figure
+// experiments. MatVecIR (ir.go) emits the same transform through the
+// internal/fhir compiler — same schedule shape, fewer keyswitches, since the
+// pass pipeline hoists the shared baby-step rotations through one
+// decomposition.
 func (c *Context) MatVec(opts MatVecOptions, label string) error {
 	c.B.Step(label)
 	return c.emitMatVec(opts, label)

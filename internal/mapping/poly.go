@@ -22,6 +22,12 @@ import (
 //   - each card evaluates its shared sub-polynomial block;
 //   - results fold back to card 0 in a tree, one multiply-and-send plus one
 //     receive-and-add per round.
+//
+// This hand-scheduled emitter is the pinned baseline of the paper-figure
+// experiments. PolyEvalIR (ir.go) routes a concrete coefficient vector
+// through the internal/fhir compiler instead, where rescale placement and
+// lazy relinearization come from the pass pipeline rather than Algorithm 1's
+// hand recipe.
 func (c *Context) PolyEval(degree int, label string) error {
 	c.B.Step(label)
 	return c.emitPolyEval(degree, label)

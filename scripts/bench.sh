@@ -11,6 +11,10 @@
 #                       CCMM, BootstrapSmall serial+parallel
 #   BENCH_sched.json    scheduler hot-path microbenchmarks: indexed heap/bitmap
 #                       popFit + allocateCards vs their linear-scan baselines
+#   BENCH_compile.json  IR-compiler pass ablation (cmd/hydra-compile):
+#                       keyswitch/decomposition/ModDown counts per pass
+#                       configuration per program, plus naive-vs-optimized
+#                       end-to-end evaluation time
 #   BENCH_serve.json    serving-layer saturation sweep (cmd/hydra-serve -mode
 #                       sweep): jobs/sec, utilization and wait percentiles per
 #                       fleet size per offered load, with the per-job-grant
@@ -25,6 +29,10 @@
 #            measurement time.
 #   serve    run only the serving-layer load replay (the `make serve-bench`
 #            entry point).
+#   compile  run only the IR-compiler benchmark (the `make compile-bench`
+#            entry point): per-pass ablation of keyswitch/decomposition/
+#            ModDown counts plus end-to-end naive-vs-optimized evaluation
+#            time, written to BENCH_compile.json.
 #
 # Environment:
 #   BENCH_DIR    output directory (default: repo root)
@@ -55,6 +63,9 @@ smoke)
 serve)
 	SUITE=serve
 	;;
+compile)
+	SUITE=compile
+	;;
 esac
 
 run_serve() {
@@ -62,8 +73,16 @@ run_serve() {
 	echo "bench: wrote $(grep -c '"cards":' "$BENCH_DIR/BENCH_serve.json") fleet reports to $BENCH_DIR/BENCH_serve.json"
 }
 
+run_compile() {
+	go run ./cmd/hydra-compile -check -out "$BENCH_DIR/BENCH_compile.json"
+}
+
 if [ "$SUITE" = "serve" ]; then
 	run_serve
+	exit 0
+fi
+if [ "$SUITE" = "compile" ]; then
+	run_compile
 	exit 0
 fi
 
@@ -133,5 +152,7 @@ run_suite \
 run_suite \
 	'^(BenchmarkPopFit|BenchmarkAllocateCards)' \
 	./internal/serve/ "$BENCH_DIR/BENCH_sched.json"
+
+run_compile
 
 run_serve

@@ -69,17 +69,28 @@ go test -race -short "$@" ./internal/hefloat/
 
 echo "== go test -race -short (conformance reduced matrix)"
 # The cross-engine matrix minus the heavy bootstrap program: every remaining
-# program still runs on all four engines, with the cluster engine exercising
+# program still runs on all five engines, with the cluster engine exercising
 # the goroutine-card runtime under the race detector.
 go test -race -short "$@" ./internal/conformance/
 
 echo "== go test (full tier-1 suite)"
 go test ./...
 
-echo "== conformance matrix (full corpus x 4 engines, golden-checked)"
+echo "== conformance matrix (full corpus x 5 engines, golden-checked)"
 # Fails on any cell outside its program's precision budget and on any
 # regression against testdata/golden_matrix.json.
 go test -count=1 -run TestConformanceMatrix ./internal/conformance/
+
+echo "== compiler (IR pass-ablation gate + differential fuzz smoke)"
+# The ablation gate compiles the three benchmark programs (BSGS dense
+# matvec, bootstrap C2S, ResNet block) under every pass configuration and
+# fails if the full pipeline removes fewer than 20% of the naive keyswitch
+# operations on any of them; the fuzzer differentially checks random IR
+# programs (interpreter: optimized vs naive compile) for 10 seconds.
+COMPILE_DIR="$(mktemp -d)"
+go run ./cmd/hydra-compile -check -out "$COMPILE_DIR/BENCH_compile.json"
+rm -rf "$COMPILE_DIR"
+go test -fuzz=FuzzIRPasses -fuzztime=10s -run '^$' ./internal/fhir/
 
 echo "== fuzz smoke (seed corpora + 10s per fuzzer)"
 # Short differential-fuzz passes seeded from testdata/fuzz: the modular
@@ -93,7 +104,7 @@ echo "== bench harness smoke (1 iteration per benchmark)"
 # measured BENCH_*.json files.
 SMOKE_DIR="$(mktemp -d)"
 BENCH_DIR="$SMOKE_DIR" sh scripts/bench.sh smoke >/dev/null
-for f in BENCH_ring.json BENCH_ckks.json BENCH_hefloat.json BENCH_sched.json BENCH_serve.json; do
+for f in BENCH_ring.json BENCH_ckks.json BENCH_hefloat.json BENCH_sched.json BENCH_compile.json BENCH_serve.json; do
 	[ -s "$SMOKE_DIR/$f" ] || { echo "ci: bench smoke did not write $f" >&2; exit 1; }
 done
 rm -rf "$SMOKE_DIR"
